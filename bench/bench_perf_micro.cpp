@@ -1,0 +1,139 @@
+// Engine performance microbenchmarks (google-benchmark): simulator
+// throughput, stationary-solver cost at different truncations, reward-case
+// evaluation, uncle-candidate collection, and end-to-end experiment pieces.
+// Not a paper artefact -- this guards the practicality of the harness (a full
+// Fig. 8 regeneration runs 19 x 10 x 100k blocks through the simulator).
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/revenue.h"
+#include "analysis/threshold.h"
+#include "analysis/uncle_distance.h"
+#include "chain/uncle_index.h"
+#include "markov/closed_form.h"
+#include "markov/stationary.h"
+#include "miner/honest_policy.h"
+#include "miner/selfish_policy.h"
+#include "sim/simulator.h"
+
+namespace {
+
+void BM_SimulatorThroughput(benchmark::State& state) {
+  ethsm::sim::SimConfig config;
+  config.alpha = static_cast<double>(state.range(0)) / 100.0;
+  config.gamma = 0.5;
+  config.num_blocks = 50'000;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    config.seed = seed++;
+    benchmark::DoNotOptimize(ethsm::sim::run_simulation(config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(config.num_blocks));
+}
+BENCHMARK(BM_SimulatorThroughput)->Arg(10)->Arg(30)->Arg(45)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_StationarySolve(benchmark::State& state) {
+  const int max_lead = static_cast<int>(state.range(0));
+  const ethsm::markov::StateSpace space(max_lead);
+  const ethsm::markov::TransitionModel model(space, {0.4, 0.5});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ethsm::markov::solve_stationary(model));
+  }
+  state.SetLabel(std::to_string(space.size()) + " states");
+}
+BENCHMARK(BM_StationarySolve)->Arg(40)->Arg(80)->Arg(160)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RevenueBreakdown(benchmark::State& state) {
+  const auto config = ethsm::rewards::RewardConfig::ethereum_byzantium();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ethsm::analysis::compute_revenue({0.35, 0.5}, config, 80));
+  }
+}
+BENCHMARK(BM_RevenueBreakdown)->Unit(benchmark::kMillisecond);
+
+void BM_ThresholdSearch(benchmark::State& state) {
+  const auto config = ethsm::rewards::RewardConfig::ethereum_byzantium();
+  ethsm::analysis::ThresholdOptions opt;
+  opt.tolerance = 1e-4;
+  opt.max_lead = 60;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ethsm::analysis::profitability_threshold(
+        0.5, config, ethsm::sim::Scenario::regular_rate_one, opt));
+  }
+}
+BENCHMARK(BM_ThresholdSearch)->Unit(benchmark::kMillisecond);
+
+void BM_ClosedFormPiij(benchmark::State& state) {
+  for (auto _ : state) {
+    for (int i = 3; i <= 12; ++i) {
+      for (int j = 1; j <= i - 2; ++j) {
+        benchmark::DoNotOptimize(
+            ethsm::markov::piij_closed_form(0.4, 0.5, i, j));
+      }
+    }
+  }
+}
+BENCHMARK(BM_ClosedFormPiij);
+
+void BM_UncleCandidateCollection(benchmark::State& state) {
+  // A chain with a stale sibling every 3 blocks: realistic candidate load.
+  ethsm::chain::BlockTree tree;
+  ethsm::chain::BlockId tip = tree.genesis();
+  for (int i = 0; i < 1000; ++i) {
+    if (i % 3 == 0) {
+      const auto stale = tree.append(tip, ethsm::chain::MinerClass::honest, 0,
+                                     i + 0.5);
+      tree.publish(stale, i + 0.5);
+    }
+    const auto next =
+        tree.append(tip, ethsm::chain::MinerClass::honest, 0, i + 1.0);
+    tree.publish(next, i + 1.0);
+    tip = next;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ethsm::chain::collect_uncle_references(tree, tip, 6, 0));
+  }
+}
+BENCHMARK(BM_UncleCandidateCollection);
+
+void BM_SelfishPolicyStep(benchmark::State& state) {
+  const auto config = ethsm::rewards::RewardConfig::ethereum_byzantium();
+  ethsm::support::Xoshiro256 rng(7);
+  for (auto _ : state) {
+    state.PauseTiming();
+    ethsm::chain::BlockTree tree(2100);
+    ethsm::miner::SelfishPolicy pool(
+        tree, ethsm::miner::SelfishPolicyConfig::from_rewards(config));
+    ethsm::miner::HonestPolicy honest(0.5, config);
+    state.ResumeTiming();
+    double now = 0.0;
+    for (int i = 0; i < 2000; ++i) {
+      now += 1.0;
+      if (rng.bernoulli(0.35)) {
+        pool.on_pool_block(now);
+      } else {
+        const auto b = honest.mine_block(
+            tree, honest.choose_parent(pool.public_view(), rng), now, 0);
+        pool.on_honest_block(b, now);
+      }
+    }
+    benchmark::DoNotOptimize(pool.finalize(now));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2000);
+}
+BENCHMARK(BM_SelfishPolicyStep)->Unit(benchmark::kMillisecond);
+
+void BM_UncleDistanceDistribution(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ethsm::analysis::honest_uncle_distance_distribution({0.45, 0.5}, 80));
+  }
+}
+BENCHMARK(BM_UncleDistanceDistribution)->Unit(benchmark::kMillisecond);
+
+}  // namespace

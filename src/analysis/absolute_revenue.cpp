@@ -1,0 +1,26 @@
+#include "analysis/absolute_revenue.h"
+
+namespace ethsm::analysis {
+
+double normalizer(const RevenueBreakdown& r, Scenario s) {
+  const double regular = r.regular_rate;
+  if (s == Scenario::regular_rate_one) return regular;
+  return regular + r.referenced_uncle_rate;
+}
+
+double pool_absolute_revenue(const RevenueBreakdown& r, Scenario s) {
+  const double n = normalizer(r, s);
+  return n == 0.0 ? 0.0 : r.pool_total() / n;
+}
+
+double honest_absolute_revenue(const RevenueBreakdown& r, Scenario s) {
+  const double n = normalizer(r, s);
+  return n == 0.0 ? 0.0 : r.honest_total() / n;
+}
+
+double total_revenue(const RevenueBreakdown& r, Scenario s) {
+  const double n = normalizer(r, s);
+  return n == 0.0 ? 0.0 : r.total() / n;
+}
+
+}  // namespace ethsm::analysis

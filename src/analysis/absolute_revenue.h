@@ -1,0 +1,37 @@
+// Absolute revenue under the paper's two difficulty scenarios (Sec. IV-E2).
+//
+// Scenario 1 (pre-EIP100): difficulty keeps the *regular* block rate at 1 =>
+//   Us = (r_b^s + r_u^s + r_n^s) / (r_b^s + r_b^h)            (Eq. (11))
+// Scenario 2 (EIP100/Byzantium): difficulty keeps regular + referenced-uncle
+// rate at 1 =>
+//   Us = (r_b^s + r_u^s + r_n^s) / (r_b^s + r_b^h + r_uncles)
+// A protocol-following miner earns exactly alpha in both (no stale blocks
+// without selfish mining under zero propagation delay).
+
+#ifndef ETHSM_ANALYSIS_ABSOLUTE_REVENUE_H
+#define ETHSM_ANALYSIS_ABSOLUTE_REVENUE_H
+
+#include "analysis/revenue.h"
+#include "sim/sim_result.h"
+
+namespace ethsm::analysis {
+
+using sim::Scenario;
+
+/// Normalization denominator (regular rate, or regular + referenced uncles).
+[[nodiscard]] double normalizer(const RevenueBreakdown& r, Scenario s);
+
+/// Pool's long-run absolute revenue Us (Eq. (11) and its Scenario-2 analogue).
+[[nodiscard]] double pool_absolute_revenue(const RevenueBreakdown& r,
+                                           Scenario s);
+
+/// Honest miners' long-run absolute revenue Uh (Eq. (12) analogue).
+[[nodiscard]] double honest_absolute_revenue(const RevenueBreakdown& r,
+                                             Scenario s);
+
+/// Total system revenue per normalized block (Fig. 9 "Total" curves).
+[[nodiscard]] double total_revenue(const RevenueBreakdown& r, Scenario s);
+
+}  // namespace ethsm::analysis
+
+#endif  // ETHSM_ANALYSIS_ABSOLUTE_REVENUE_H

@@ -1,0 +1,22 @@
+// Eyal–Sirer closed forms for Bitcoin selfish mining ("Majority is not
+// enough", CACM 2018) -- the paper's baseline in Fig. 10 ("Ittay Model").
+//
+// Bitcoin has no uncle rewards, and its difficulty keeps the regular-block
+// rate constant, so absolute and relative revenue coincide (Sec. IV-E2).
+
+#ifndef ETHSM_ANALYSIS_BITCOIN_ES_H
+#define ETHSM_ANALYSIS_BITCOIN_ES_H
+
+namespace ethsm::analysis {
+
+/// The pool's relative revenue under Eyal–Sirer selfish mining:
+///   R(a, g) = [a(1-a)^2 (4a + g(1-2a)) - a^3] / [1 - a(1 + (2-a)a)].
+[[nodiscard]] double eyal_sirer_revenue(double alpha, double gamma);
+
+/// Profitability threshold in Bitcoin: alpha* = (1-g) / (3-2g); 1/3 at g=0,
+/// 1/4 at g=1/2 (the famous 25%), 0 at g=1.
+[[nodiscard]] double eyal_sirer_threshold(double gamma);
+
+}  // namespace ethsm::analysis
+
+#endif  // ETHSM_ANALYSIS_BITCOIN_ES_H

@@ -1,0 +1,90 @@
+#include "analysis/revenue.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.h"
+#include "support/stats.h"
+
+namespace ethsm::analysis {
+
+RevenueBreakdown compute_revenue(const markov::StationaryDistribution& pi,
+                                 const markov::TransitionModel& model,
+                                 const rewards::RewardConfig& config) {
+  support::KahanSum pool_static, pool_uncle, pool_nephew;
+  support::KahanSum honest_static, honest_uncle, honest_nephew;
+  support::KahanSum regular_rate, uncle_rate;
+
+  for (const markov::Transition& t : model.transitions()) {
+    const double weight = pi[t.from] * t.rate;
+    if (weight == 0.0) continue;
+    const RewardFlow flow = expected_rewards(model.space().state_at(t.from),
+                                             t.kind, model.params(), config);
+    pool_static.add(weight * flow.pool_static);
+    pool_uncle.add(weight * flow.pool_uncle);
+    pool_nephew.add(weight * flow.pool_nephew);
+    honest_static.add(weight * flow.honest_static);
+    honest_uncle.add(weight * flow.honest_uncle);
+    honest_nephew.add(weight * flow.honest_nephew);
+    regular_rate.add(weight * flow.regular_probability);
+    uncle_rate.add(weight * flow.referenced_uncle_probability);
+  }
+
+  RevenueBreakdown out;
+  out.pool_static = pool_static.value();
+  out.pool_uncle = pool_uncle.value();
+  out.pool_nephew = pool_nephew.value();
+  out.honest_static = honest_static.value();
+  out.honest_uncle = honest_uncle.value();
+  out.honest_nephew = honest_nephew.value();
+  out.regular_rate = regular_rate.value();
+  out.referenced_uncle_rate = uncle_rate.value();
+  return out;
+}
+
+RevenueBreakdown compute_revenue(const markov::MiningParams& params,
+                                 const rewards::RewardConfig& config,
+                                 int max_lead) {
+  const markov::StateSpace space(max_lead);
+  const markov::TransitionModel model(space, params);
+  const auto pi = markov::solve_stationary(model);
+  return compute_revenue(pi, model, config);
+}
+
+int recommended_max_lead(const markov::MiningParams& params) {
+  const double a = params.alpha;
+  const double g = params.gamma;
+  if (a <= 0.0) return 8;
+  // Re-roots trim the branch roughly every 1/(beta*gamma) blocks; with
+  // gamma >= 0.25 the default depth of 80 is already conservative.
+  if (g >= 0.25 || a <= 0.35) return 80;
+  // Critical-excursion tail: (2 sqrt(a b))^n per block, alpha of which grow
+  // the private branch. Solve (2 sqrt(ab))^(n/a) <= 1e-9 for n.
+  const double decay = 2.0 * std::sqrt(a * (1.0 - a));
+  const double blocks = std::log(1e-9) / std::log(decay);
+  const int depth = static_cast<int>(blocks * a) + 40;
+  return std::clamp(depth, 80, 600);
+}
+
+double pool_static_rate_closed_form(double alpha, double gamma) {
+  const double a = alpha;
+  const double b = 1.0 - a;
+  const double d = 2 * a * a * a - 4 * a * a + 1;
+  return (a * b * b * (4 * a + gamma * (1 - 2 * a)) - a * a * a) / d;
+}
+
+double honest_static_rate_closed_form(double alpha, double gamma) {
+  const double a = alpha;
+  const double b = 1.0 - a;
+  const double d = 2 * a * a * a - 4 * a * a + 1;
+  return (1 - 2 * a) * b * (a * b * (2 - gamma) + 1) / d;
+}
+
+double pool_uncle_rate_closed_form(double alpha, double gamma, double ku1) {
+  const double a = alpha;
+  const double b = 1.0 - a;
+  const double d = 2 * a * a * a - 4 * a * a + 1;
+  return (1 - 2 * a) * b * b * a * (1 - gamma) / d * ku1;
+}
+
+}  // namespace ethsm::analysis

@@ -1,0 +1,87 @@
+// Long-run revenue rates from the Markov model (paper Sec. IV-E1).
+//
+// With the stationary distribution pi and the per-transition expected rewards
+// of Appendix B, every long-run reward rate is a weighted sum
+//     r = sum_s pi(s) * sum_{t out of s} rate(t) * E[reward | t].
+// This reproduces the paper's closed forms Eq. (3)-(5) exactly (tested) and
+// fixes the OCR-corrupted Eq. (8)/(9) terms from the case analysis itself.
+
+#ifndef ETHSM_ANALYSIS_REVENUE_H
+#define ETHSM_ANALYSIS_REVENUE_H
+
+#include "analysis/reward_cases.h"
+#include "markov/stationary.h"
+#include "rewards/reward_schedule.h"
+
+namespace ethsm::analysis {
+
+/// Long-run reward rates per unit time (block-production rate = 1, Ks = 1).
+struct RevenueBreakdown {
+  // Paper notation: r_b^s, r_u^s, r_n^s / r_b^h, r_u^h, r_n^h.
+  double pool_static = 0.0;
+  double pool_uncle = 0.0;
+  double pool_nephew = 0.0;
+  double honest_static = 0.0;
+  double honest_uncle = 0.0;
+  double honest_nephew = 0.0;
+
+  /// Rate of regular (main-chain) blocks == pool_static + honest_static
+  /// when Ks = 1.
+  double regular_rate = 0.0;
+  /// Rate of blocks that become *referenced* uncles (what EIP100's difficulty
+  /// rule observes).
+  double referenced_uncle_rate = 0.0;
+
+  [[nodiscard]] double pool_total() const noexcept {
+    return pool_static + pool_uncle + pool_nephew;
+  }
+  [[nodiscard]] double honest_total() const noexcept {
+    return honest_static + honest_uncle + honest_nephew;
+  }
+  /// r_total of Eq. (10).
+  [[nodiscard]] double total() const noexcept {
+    return pool_total() + honest_total();
+  }
+  /// Relative revenue Rs of the pool (share of all rewards).
+  [[nodiscard]] double pool_relative_share() const noexcept {
+    const double t = total();
+    return t == 0.0 ? 0.0 : pool_total() / t;
+  }
+};
+
+/// Integrates the Appendix-B reward flows over the stationary distribution.
+[[nodiscard]] RevenueBreakdown compute_revenue(
+    const markov::StationaryDistribution& pi,
+    const markov::TransitionModel& model, const rewards::RewardConfig& config);
+
+/// Convenience: build space/model/stationary for (alpha, gamma) and compute.
+/// `max_lead` is the truncation (the paper's footnote 3 uses 200). For
+/// gamma >= 0.25 the stationary tail is negligible far below 80; see
+/// recommended_max_lead for the small-gamma / large-alpha corner.
+[[nodiscard]] RevenueBreakdown compute_revenue(
+    const markov::MiningParams& params, const rewards::RewardConfig& config,
+    int max_lead = 80);
+
+/// Truncation advisor. The private-branch length survives like a critical
+/// birth-death excursion whose tail decays as (2 sqrt(alpha*beta))^n; gamma
+/// re-roots (Case 7) cut the branch back, so small gamma combined with alpha
+/// near 1/2 needs a much deeper truncation than the default. Returns a depth
+/// targeting a stationary tail below ~1e-9 (capped at 600 to bound cost; at
+/// alpha = 0.45, gamma = 0 even the paper's own depth-200 truncation carries
+/// ~1e-3 of mass -- documented in EXPERIMENTS.md).
+[[nodiscard]] int recommended_max_lead(const markov::MiningParams& params);
+
+/// Paper Eq. (3): closed-form r_b^s (static reward rate of the pool).
+[[nodiscard]] double pool_static_rate_closed_form(double alpha, double gamma);
+
+/// Paper Eq. (4): closed-form r_b^h (static reward rate of honest miners).
+[[nodiscard]] double honest_static_rate_closed_form(double alpha, double gamma);
+
+/// Paper Eq. (5): closed-form r_u^s (uncle reward rate of the pool); the
+/// pool's uncles are always referenced at distance 1 (Remark 5).
+[[nodiscard]] double pool_uncle_rate_closed_form(double alpha, double gamma,
+                                                 double ku1);
+
+}  // namespace ethsm::analysis
+
+#endif  // ETHSM_ANALYSIS_REVENUE_H

@@ -1,0 +1,158 @@
+#include "analysis/reward_cases.h"
+
+#include "support/check.h"
+#include "support/math_util.h"
+
+namespace ethsm::analysis {
+
+using chain::MinerClass;
+using markov::MiningParams;
+using markov::State;
+using markov::TransitionKind;
+
+double honest_nephew_probability(const MiningParams& params, int lead) {
+  ETHSM_EXPECTS(lead >= 2, "nephew race is defined for leads >= 2");
+  const double a = params.alpha;
+  const double b = params.beta();
+  const double g = params.gamma;
+  // Appendix B: honest miners must first collapse the race to (0,0) with the
+  // pool mining nothing (b^{lead-2}), then win the post-(0,0) race for the
+  // first regular block that can reference the uncle (b(1 + ab(1-g))).
+  return support::ipow(b, lead - 1) * (1.0 + a * b * (1.0 - g));
+}
+
+namespace {
+
+/// Fills in an uncle outcome for a target at the given locked-in distance:
+/// uncle reward to `owner`, nephew reward split by `honest_nephew_p`.
+void apply_uncle_outcome(RewardFlow& flow, MinerClass owner, int distance,
+                         double uncle_probability, double honest_nephew_p,
+                         const rewards::RewardConfig& config) {
+  flow.uncle_distance = distance;
+  flow.target_owner = owner;
+  if (distance > config.reference_horizon()) {
+    // Too far to ever be referenced: the block is plain stale.
+    return;
+  }
+  flow.referenced_uncle_probability = uncle_probability;
+  const double ku = config.uncle_reward(distance);
+  const double kn = config.nephew_reward(distance);
+  if (owner == MinerClass::selfish) {
+    flow.pool_uncle += uncle_probability * ku;
+  } else {
+    flow.honest_uncle += uncle_probability * ku;
+  }
+  flow.honest_nephew += uncle_probability * honest_nephew_p * kn;
+  flow.pool_nephew += uncle_probability * (1.0 - honest_nephew_p) * kn;
+}
+
+}  // namespace
+
+RewardFlow expected_rewards(const State& from, TransitionKind kind,
+                            const MiningParams& params,
+                            const rewards::RewardConfig& config) {
+  const double a = params.alpha;
+  const double b = params.beta();
+  const double g = params.gamma;
+  RewardFlow flow;
+
+  switch (kind) {
+    case TransitionKind::honest_at_consensus: {
+      // Case 1: adopted by everyone immediately.
+      flow.honest_static = 1.0;
+      flow.regular_probability = 1.0;
+      flow.target_owner = MinerClass::honest;
+      break;
+    }
+    case TransitionKind::pool_first_lead: {
+      // Case 2: the pool's first withheld block. It wins unless the honest
+      // side matches (b) and then out-mines the published block (b(1-g)).
+      const double p_regular = a + a * b + b * b * g;
+      const double p_uncle = b * b * (1.0 - g);
+      flow.pool_static = p_regular;
+      flow.regular_probability = p_regular;
+      // If it loses it is referenced by the winning honest block at d = 1;
+      // the nephew is that honest block with certainty.
+      apply_uncle_outcome(flow, MinerClass::selfish, 1, p_uncle,
+                          /*honest_nephew_p=*/1.0, config);
+      break;
+    }
+    case TransitionKind::pool_extend_lead: {
+      // Cases 3/6: with a lead of >= 2 the private branch prevails (Lemma 1).
+      flow.pool_static = 1.0;
+      flow.regular_probability = 1.0;
+      flow.target_owner = MinerClass::selfish;
+      break;
+    }
+    case TransitionKind::honest_match: {
+      // Case 4: the honest block ties the pool's published block. It stays
+      // regular only if the next honest block lands on it (b(1-g)).
+      flow.honest_static = b * (1.0 - g);
+      flow.regular_probability = b * (1.0 - g);
+      // Otherwise it becomes an uncle at d = 1: referenced by the pool's next
+      // block (a, pool nephew) or by an honest block on the pool branch
+      // (bg, honest nephew).
+      const double p_uncle = a + b * g;
+      const double honest_nephew_p = p_uncle == 0.0 ? 0.0 : (b * g) / p_uncle;
+      apply_uncle_outcome(flow, MinerClass::honest, 1, p_uncle,
+                          honest_nephew_p, config);
+      break;
+    }
+    case TransitionKind::pool_win_tie: {
+      // Case 5 (pool part): pool block resolves the tie and is regular.
+      flow.pool_static = 1.0;
+      flow.regular_probability = 1.0;
+      flow.target_owner = MinerClass::selfish;
+      break;
+    }
+    case TransitionKind::honest_resolve_tie: {
+      // Case 5 (honest part): whichever branch it lands on wins with it.
+      flow.honest_static = 1.0;
+      flow.regular_probability = 1.0;
+      flow.target_owner = MinerClass::honest;
+      break;
+    }
+    case TransitionKind::honest_resolve_lead2_nofork: {
+      // Case 9: (2,0) -- the honest block forces the pool to publish a
+      // 2-block branch; it becomes an uncle at distance 2 with certainty.
+      apply_uncle_outcome(flow, MinerClass::honest, 2, 1.0,
+                          honest_nephew_probability(params, 2), config);
+      break;
+    }
+    case TransitionKind::honest_resolve_lead2_prefix: {
+      // Case 8: same as Case 9 (the honest block sat on the pool's published
+      // prefix, so its parent ends up on the main chain).
+      apply_uncle_outcome(flow, MinerClass::honest, 2, 1.0,
+                          honest_nephew_probability(params, 2), config);
+      break;
+    }
+    case TransitionKind::honest_resolve_lead2_fork: {
+      // Case 12: landed on the dying honest fork -- plain stale, no rewards.
+      flow.target_owner = MinerClass::honest;
+      break;
+    }
+    case TransitionKind::honest_first_fork: {
+      // Case 10: (i,0) -> (i,1), i >= 3: uncle at distance i.
+      ETHSM_ASSERT(from.lh == 0 && from.ls >= 3);
+      apply_uncle_outcome(flow, MinerClass::honest, from.ls, 1.0,
+                          honest_nephew_probability(params, from.ls), config);
+      break;
+    }
+    case TransitionKind::honest_prefix_reroot: {
+      // Case 7: (i,j) -> (i-j,1), i-j >= 3: uncle at distance i-j.
+      ETHSM_ASSERT(from.lh >= 1 && from.lead() >= 3);
+      const int d = from.lead();
+      apply_uncle_outcome(flow, MinerClass::honest, d, 1.0,
+                          honest_nephew_probability(params, d), config);
+      break;
+    }
+    case TransitionKind::honest_fork_extend: {
+      // Case 11: deepens the dying fork -- plain stale.
+      flow.target_owner = MinerClass::honest;
+      break;
+    }
+  }
+  return flow;
+}
+
+}  // namespace ethsm::analysis

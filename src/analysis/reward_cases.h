@@ -1,0 +1,83 @@
+// Probabilistic reward tracking (paper Sec. IV-D and Appendix B).
+//
+// Every state transition creates exactly one new block (the "target block").
+// Its destiny -- regular / referenced uncle / plain stale, and who collects
+// the associated nephew reward -- cannot be read off immediately, but its
+// *expected* rewards can (Appendix B shows the reference distance is in fact
+// deterministic under Algorithm 1). This module encodes Cases 1-12 verbatim:
+//
+//  Case 1  (0,0)-b->(0,0)   honest block, regular w.p. 1.
+//  Case 2  (0,0)-a->(1,0)   pool block: regular w.p. a+ab+b^2 g, otherwise an
+//                           uncle at distance 1 whose nephew is honest.
+//  Case 3/6 pool extends    regular w.p. 1 (Lemma 1).
+//  Case 4  (1,0)-b->(1,1)   honest block: regular w.p. b(1-g); uncle (d = 1)
+//                           w.p. a+bg; nephew: pool w.p. a, honest w.p. bg.
+//  Case 5  (1,1)->(0,0)     the new block is regular whoever mines it.
+//  Case 7  (i,j)-bg->(i-j,1), i-j>=3: honest target becomes an uncle at
+//          distance i-j; nephew honest w.p. b^{i-j-1}(1+ab(1-g)), else pool.
+//  Case 8  (j+2,j)-bg->(0,0), j>=1: as Case 7 with distance 2.
+//  Case 9  (2,0)-b->(0,0)   as Case 8, but the uncle is certain (no fork
+//                           exists for the honest block to have landed on).
+//  Case 10 (i,0)-b->(i,1), i>=3: uncle at distance i; nephew honest w.p.
+//          b^{i-1}(1+ab(1-g)).
+//  Case 11 (i,j)-b(1-g)->(i,j+1): plain stale (parent not on main chain).
+//  Case 12 (j+2,j)-b(1-g)->(0,0): plain stale.
+//
+// Rewards use Ks = 1; Ku/Kn come from the RewardConfig, so the same code
+// covers Byzantium, the flat Fig. 9 variants, the Sec. VI redesign and
+// Bitcoin (Ku = Kn = 0). Distances beyond the reference horizon mean the
+// block is never referenced (it stays plain stale and pays nothing).
+
+#ifndef ETHSM_ANALYSIS_REWARD_CASES_H
+#define ETHSM_ANALYSIS_REWARD_CASES_H
+
+#include "chain/block.h"
+#include "markov/transition_model.h"
+#include "rewards/reward_schedule.h"
+
+namespace ethsm::analysis {
+
+/// Expected rewards (units of Ks) carried by one transition's target block,
+/// plus classification probabilities used for rate accounting.
+struct RewardFlow {
+  double pool_static = 0.0;
+  double honest_static = 0.0;
+  double pool_uncle = 0.0;
+  double honest_uncle = 0.0;
+  double pool_nephew = 0.0;
+  double honest_nephew = 0.0;
+
+  /// P(target ends up on the main chain).
+  double regular_probability = 0.0;
+  /// P(target becomes a referenced uncle) -- zero when the locked-in distance
+  /// exceeds the reference horizon.
+  double referenced_uncle_probability = 0.0;
+  /// The deterministic reference distance (0 when not applicable).
+  int uncle_distance = 0;
+  /// Who mined the target (owner of a potential uncle reward).
+  chain::MinerClass target_owner = chain::MinerClass::honest;
+
+  [[nodiscard]] double pool_total() const noexcept {
+    return pool_static + pool_uncle + pool_nephew;
+  }
+  [[nodiscard]] double honest_total() const noexcept {
+    return honest_static + honest_uncle + honest_nephew;
+  }
+};
+
+/// Expected rewards of the target block created by a transition of `kind`
+/// leaving `from` (Appendix B). `params` supplies alpha/gamma.
+[[nodiscard]] RewardFlow expected_rewards(const markov::State& from,
+                                          markov::TransitionKind kind,
+                                          const markov::MiningParams& params,
+                                          const rewards::RewardConfig& config);
+
+/// Probability that the nephew reward of an uncle created with the pool
+/// `lead` blocks ahead goes to the honest side: b^{lead-1} (1 + a b (1-g))
+/// (Appendix B, Cases 7-10).
+[[nodiscard]] double honest_nephew_probability(
+    const markov::MiningParams& params, int lead);
+
+}  // namespace ethsm::analysis
+
+#endif  // ETHSM_ANALYSIS_REWARD_CASES_H

@@ -1,0 +1,85 @@
+#include "analysis/sweep.h"
+
+#include "analysis/bitcoin_es.h"
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace ethsm::analysis {
+
+std::vector<double> fig8_alpha_grid() {
+  std::vector<double> alphas;
+  for (int i = 0; i <= 18; ++i) alphas.push_back(0.025 * i);
+  return alphas;
+}
+
+std::vector<double> fig10_gamma_grid() {
+  std::vector<double> gammas;
+  for (int i = 0; i <= 20; ++i) gammas.push_back(0.05 * i);
+  return gammas;
+}
+
+std::vector<RevenuePoint> revenue_curve(const RevenueCurveOptions& options) {
+  const std::vector<double> alphas =
+      options.alphas.empty() ? fig8_alpha_grid() : options.alphas;
+
+  std::vector<RevenuePoint> curve;
+  curve.reserve(alphas.size());
+  for (double alpha : alphas) {
+    RevenuePoint point;
+    point.alpha = alpha;
+
+    const markov::MiningParams params{alpha, options.gamma};
+    const RevenueBreakdown r =
+        compute_revenue(params, options.rewards, options.max_lead);
+    point.pool_revenue = pool_absolute_revenue(r, options.scenario);
+    point.honest_revenue = honest_absolute_revenue(r, options.scenario);
+    point.total_revenue = total_revenue(r, options.scenario);
+    point.uncle_rate = r.regular_rate == 0.0
+                           ? 0.0
+                           : r.referenced_uncle_rate / r.regular_rate;
+
+    if (options.sim_runs > 0 && alpha > 0.0) {
+      sim::SimConfig sim_config;
+      sim_config.alpha = alpha;
+      sim_config.gamma = options.gamma;
+      sim_config.rewards = options.rewards;
+      sim_config.num_blocks = options.sim_blocks;
+      sim_config.seed = support::derive_seed(
+          options.sim_seed, static_cast<std::uint64_t>(alpha * 1e6));
+      const sim::MultiRunSummary sum =
+          sim::run_many(sim_config, options.sim_runs);
+      point.pool_revenue_sim = sum.pool_revenue(options.scenario).mean();
+      point.honest_revenue_sim = sum.honest_revenue(options.scenario).mean();
+      point.pool_revenue_sim_ci =
+          sum.pool_revenue(options.scenario).ci_halfwidth();
+      point.honest_revenue_sim_ci =
+          sum.honest_revenue(options.scenario).ci_halfwidth();
+    }
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+std::vector<ThresholdPoint> threshold_curve(
+    const ThresholdCurveOptions& options) {
+  const std::vector<double> gammas =
+      options.gammas.empty() ? fig10_gamma_grid() : options.gammas;
+
+  std::vector<ThresholdPoint> curve;
+  curve.reserve(gammas.size());
+  for (double gamma : gammas) {
+    ThresholdPoint point;
+    point.gamma = gamma;
+    point.bitcoin = eyal_sirer_threshold(gamma);
+    point.ethereum_scenario1 = profitability_threshold(
+        gamma, options.rewards, Scenario::regular_rate_one, options.threshold);
+    point.ethereum_scenario2 =
+        profitability_threshold(gamma, options.rewards,
+                                Scenario::regular_and_uncle_rate_one,
+                                options.threshold);
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+}  // namespace ethsm::analysis

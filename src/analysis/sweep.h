@@ -1,0 +1,70 @@
+// Parameter-sweep drivers shared by the bench regenerators, the examples and
+// the integration tests. Each function computes one of the paper's series.
+
+#ifndef ETHSM_ANALYSIS_SWEEP_H
+#define ETHSM_ANALYSIS_SWEEP_H
+
+#include <optional>
+#include <vector>
+
+#include "analysis/absolute_revenue.h"
+#include "analysis/threshold.h"
+#include "sim/simulator.h"
+
+namespace ethsm::analysis {
+
+/// One point of a revenue-vs-alpha curve (Fig. 8 / Fig. 9 series).
+struct RevenuePoint {
+  double alpha = 0.0;
+  double pool_revenue = 0.0;
+  double honest_revenue = 0.0;
+  double total_revenue = 0.0;
+  double uncle_rate = 0.0;
+  /// Simulation cross-check (populated when requested).
+  std::optional<double> pool_revenue_sim;
+  std::optional<double> honest_revenue_sim;
+  std::optional<double> pool_revenue_sim_ci;  ///< 95% CI half-width
+  std::optional<double> honest_revenue_sim_ci;
+};
+
+struct RevenueCurveOptions {
+  double gamma = 0.5;
+  rewards::RewardConfig rewards = rewards::RewardConfig::ethereum_flat(0.5);
+  Scenario scenario = Scenario::regular_rate_one;
+  std::vector<double> alphas;  ///< empty => 0, 0.025, ..., 0.45 (Fig. 8 grid)
+  int max_lead = 80;
+  /// > 0 adds Monte-Carlo cross-checks with this many runs per point.
+  int sim_runs = 0;
+  std::uint64_t sim_blocks = 100'000;
+  std::uint64_t sim_seed = 0x5e1f15ULL;
+};
+
+/// Revenue curves Us(alpha), Uh(alpha), total(alpha) (Fig. 8 / Fig. 9).
+[[nodiscard]] std::vector<RevenuePoint> revenue_curve(
+    const RevenueCurveOptions& options);
+
+/// One point of the threshold-vs-gamma comparison (Fig. 10).
+struct ThresholdPoint {
+  double gamma = 0.0;
+  double bitcoin = 0.0;                      ///< Eyal–Sirer closed form
+  std::optional<double> ethereum_scenario1;  ///< nullopt: never profitable
+  std::optional<double> ethereum_scenario2;
+};
+
+struct ThresholdCurveOptions {
+  rewards::RewardConfig rewards = rewards::RewardConfig::ethereum_byzantium();
+  std::vector<double> gammas;  ///< empty => 0, 0.05, ..., 1.0 (Fig. 10 grid)
+  ThresholdOptions threshold;
+};
+
+/// Threshold curves for Bitcoin and both Ethereum scenarios (Fig. 10).
+[[nodiscard]] std::vector<ThresholdPoint> threshold_curve(
+    const ThresholdCurveOptions& options);
+
+/// Default grids used by the paper's figures.
+[[nodiscard]] std::vector<double> fig8_alpha_grid();   ///< 0..0.45 step 0.025
+[[nodiscard]] std::vector<double> fig10_gamma_grid();  ///< 0..1 step 0.05
+
+}  // namespace ethsm::analysis
+
+#endif  // ETHSM_ANALYSIS_SWEEP_H

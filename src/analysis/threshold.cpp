@@ -1,0 +1,27 @@
+#include "analysis/threshold.h"
+
+#include "support/math_util.h"
+
+namespace ethsm::analysis {
+
+double selfish_advantage(double alpha, double gamma,
+                         const rewards::RewardConfig& config,
+                         Scenario scenario, int max_lead) {
+  const markov::MiningParams params{alpha, gamma};
+  const RevenueBreakdown r = compute_revenue(params, config, max_lead);
+  return pool_absolute_revenue(r, scenario) - alpha;
+}
+
+std::optional<double> profitability_threshold(double gamma,
+                                              const rewards::RewardConfig& config,
+                                              Scenario scenario,
+                                              const ThresholdOptions& options) {
+  auto profitable = [&](double alpha) {
+    return selfish_advantage(alpha, gamma, config, scenario,
+                             options.max_lead) >= 0.0;
+  };
+  return support::first_true(profitable, options.alpha_min, options.alpha_max,
+                             options.tolerance);
+}
+
+}  // namespace ethsm::analysis

@@ -1,0 +1,110 @@
+#include "chain/block_tree.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace ethsm::chain {
+
+BlockTree::BlockTree(std::size_t reserve_hint) {
+  if (reserve_hint > 0) {
+    blocks_.reserve(reserve_hint);
+    children_.reserve(reserve_hint);
+  }
+  Block genesis;
+  genesis.parent = kNoBlock;
+  genesis.height = 0;
+  genesis.miner = MinerClass::honest;
+  genesis.mined_at = 0.0;
+  genesis.published_at = 0.0;
+  blocks_.push_back(std::move(genesis));
+  children_.emplace_back();
+  // Genesis is not attributed to either class for mined-count purposes.
+}
+
+BlockId BlockTree::append(BlockId parent, MinerClass miner,
+                          std::uint32_t miner_id, double mined_at,
+                          std::vector<BlockId> uncle_refs) {
+  check_id(parent);
+  for (BlockId u : uncle_refs) check_id(u);
+
+  Block b;
+  b.parent = parent;
+  b.height = blocks_[parent].height + 1;
+  b.miner = miner;
+  b.miner_id = miner_id;
+  b.mined_at = mined_at;
+  b.uncle_refs = std::move(uncle_refs);
+
+  const auto id = static_cast<BlockId>(blocks_.size());
+  blocks_.push_back(std::move(b));
+  children_.emplace_back();
+  children_[parent].push_back(id);
+  ++mined_count_[static_cast<std::size_t>(miner)];
+  return id;
+}
+
+void BlockTree::publish(BlockId id, double now) {
+  check_id(id);
+  ETHSM_EXPECTS(!blocks_[id].is_published(), "block already published");
+  ETHSM_EXPECTS(now >= blocks_[id].mined_at,
+                "cannot publish before the block was mined");
+  blocks_[id].published_at = now;
+}
+
+const Block& BlockTree::block(BlockId id) const {
+  check_id(id);
+  return blocks_[id];
+}
+
+std::uint32_t BlockTree::height(BlockId id) const {
+  check_id(id);
+  return blocks_[id].height;
+}
+
+BlockId BlockTree::parent(BlockId id) const {
+  check_id(id);
+  return blocks_[id].parent;
+}
+
+bool BlockTree::is_published(BlockId id) const {
+  check_id(id);
+  return blocks_[id].is_published();
+}
+
+const std::vector<BlockId>& BlockTree::children(BlockId id) const {
+  check_id(id);
+  return children_[id];
+}
+
+bool BlockTree::is_ancestor_of(BlockId ancestor, BlockId descendant) const {
+  check_id(ancestor);
+  check_id(descendant);
+  if (blocks_[ancestor].height > blocks_[descendant].height) return false;
+  return ancestor_at_height(descendant, blocks_[ancestor].height) == ancestor;
+}
+
+BlockId BlockTree::ancestor_at_height(BlockId from, std::uint32_t h) const {
+  check_id(from);
+  ETHSM_EXPECTS(h <= blocks_[from].height, "ancestor height above block");
+  BlockId cur = from;
+  while (blocks_[cur].height > h) cur = blocks_[cur].parent;
+  return cur;
+}
+
+std::vector<BlockId> BlockTree::chain_from_genesis(BlockId tip) const {
+  check_id(tip);
+  std::vector<BlockId> chain;
+  chain.reserve(blocks_[tip].height + 1);
+  for (BlockId cur = tip; cur != kNoBlock; cur = blocks_[cur].parent) {
+    chain.push_back(cur);
+  }
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+void BlockTree::check_id(BlockId id) const {
+  ETHSM_EXPECTS(id < blocks_.size(), "unknown block id");
+}
+
+}  // namespace ethsm::chain

@@ -1,0 +1,66 @@
+// Append-only block tree (paper Sec. II, Fig. 2): every client observes a tree
+// of blocks; a main chain is selected from it. This class stores the tree and
+// answers the ancestry/height queries that uncle eligibility (Sec. III-B) and
+// the mining policies (Sec. III-C) need.
+
+#ifndef ETHSM_CHAIN_BLOCK_TREE_H
+#define ETHSM_CHAIN_BLOCK_TREE_H
+
+#include <cstddef>
+#include <vector>
+
+#include "chain/block.h"
+
+namespace ethsm::chain {
+
+class BlockTree {
+ public:
+  /// Creates a tree holding only the genesis block (published at time 0,
+  /// height 0, honest-owned by convention; genesis earns no rewards).
+  explicit BlockTree(std::size_t reserve_hint = 0);
+
+  [[nodiscard]] BlockId genesis() const noexcept { return 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return blocks_.size(); }
+
+  /// Appends a block. `uncle_refs` must already satisfy eligibility (use
+  /// collect_uncle_references); this is checked lazily by ChainValidator, not
+  /// here, to keep the mining hot loop cheap.
+  BlockId append(BlockId parent, MinerClass miner, std::uint32_t miner_id,
+                 double mined_at, std::vector<BlockId> uncle_refs = {});
+
+  /// Marks a block visible to the network. Publishing is monotone: a block can
+  /// be published once; re-publication is a logic error.
+  void publish(BlockId id, double now);
+
+  [[nodiscard]] const Block& block(BlockId id) const;
+  [[nodiscard]] std::uint32_t height(BlockId id) const;
+  [[nodiscard]] BlockId parent(BlockId id) const;
+  [[nodiscard]] bool is_published(BlockId id) const;
+  [[nodiscard]] const std::vector<BlockId>& children(BlockId id) const;
+
+  /// True iff `ancestor` lies on the parent path of `descendant`
+  /// (a block is an ancestor of itself).
+  [[nodiscard]] bool is_ancestor_of(BlockId ancestor, BlockId descendant) const;
+
+  /// The unique ancestor of `from` at height `h` (requires h <= height(from)).
+  [[nodiscard]] BlockId ancestor_at_height(BlockId from, std::uint32_t h) const;
+
+  /// Blocks from genesis to `tip`, inclusive, in height order.
+  [[nodiscard]] std::vector<BlockId> chain_from_genesis(BlockId tip) const;
+
+  /// Total number of blocks mined by each class (for conservation checks).
+  [[nodiscard]] std::uint64_t mined_count(MinerClass c) const noexcept {
+    return mined_count_[static_cast<std::size_t>(c)];
+  }
+
+ private:
+  void check_id(BlockId id) const;
+
+  std::vector<Block> blocks_;
+  std::vector<std::vector<BlockId>> children_;
+  std::uint64_t mined_count_[2] = {0, 0};
+};
+
+}  // namespace ethsm::chain
+
+#endif  // ETHSM_CHAIN_BLOCK_TREE_H

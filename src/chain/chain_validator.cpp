@@ -1,0 +1,113 @@
+#include "chain/chain_validator.h"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace ethsm::chain {
+
+namespace {
+
+void report(ValidationReport& r, BlockId id, const std::string& what) {
+  std::ostringstream os;
+  os << "block " << id << ": " << what;
+  r.violations.push_back(os.str());
+}
+
+}  // namespace
+
+ValidationReport validate_chain(const BlockTree& tree,
+                                const rewards::RewardConfig& config,
+                                BlockId main_tip) {
+  ValidationReport r;
+  const int horizon = config.reference_horizon();
+
+  for (BlockId id = 0; id < tree.size(); ++id) {
+    const Block& b = tree.block(id);
+
+    // V1: parent/height consistency.
+    if (id == tree.genesis()) {
+      if (b.parent != kNoBlock) report(r, id, "genesis has a parent");
+      if (b.height != 0) report(r, id, "genesis height is not 0");
+    } else {
+      if (b.parent == kNoBlock) {
+        report(r, id, "non-genesis block without parent (second genesis)");
+        continue;
+      }
+      if (b.parent >= tree.size()) {
+        report(r, id, "dangling parent id");
+        continue;
+      }
+      if (b.height != tree.height(b.parent) + 1) {
+        report(r, id, "height != parent height + 1");
+      }
+      // V2: time ordering.
+      if (b.mined_at < tree.block(b.parent).mined_at) {
+        report(r, id, "mined before its parent");
+      }
+      if (b.is_published() && b.published_at < b.mined_at) {
+        report(r, id, "published before mined");
+      }
+    }
+
+    // V3/V5/V6: uncle references.
+    if (config.max_uncles_per_block > 0 &&
+        static_cast<int>(b.uncle_refs.size()) > config.max_uncles_per_block) {
+      report(r, id, "too many uncle references");
+    }
+    std::unordered_set<BlockId> seen;
+    for (BlockId u : b.uncle_refs) {
+      if (u >= tree.size()) {
+        report(r, id, "dangling uncle reference");
+        continue;
+      }
+      if (!seen.insert(u).second) {
+        report(r, id, "duplicate uncle reference within one block");
+      }
+      const Block& uncle = tree.block(u);
+      if (uncle.height >= b.height) {
+        report(r, id, "uncle not below the referencing block");
+        continue;
+      }
+      const int distance = static_cast<int>(b.height - uncle.height);
+      if (distance < 1 || distance > horizon) {
+        report(r, id, "uncle reference distance outside horizon");
+      }
+      if (tree.is_ancestor_of(u, id)) {
+        report(r, id, "referenced an ancestor as uncle");
+      }
+      if (uncle.parent != kNoBlock && !tree.is_ancestor_of(uncle.parent, id)) {
+        report(r, id, "uncle's parent not on the referencing chain");
+      }
+      if (!uncle.is_published() || uncle.published_at > b.mined_at) {
+        report(r, id, "referenced a block not yet visible when mined");
+      }
+    }
+  }
+
+  // V4: no double reference along any root-to-leaf chain. Walk each leaf's
+  // chain once; references are sparse so the set stays small.
+  for (BlockId id = 0; id < tree.size(); ++id) {
+    if (!tree.children(id).empty()) continue;  // not a leaf
+    std::unordered_set<BlockId> referenced;
+    for (BlockId cur = id;; cur = tree.parent(cur)) {
+      for (BlockId u : tree.block(cur).uncle_refs) {
+        if (!referenced.insert(u).second) {
+          report(r, cur, "uncle referenced twice along one chain");
+        }
+      }
+      if (cur == tree.genesis()) break;
+    }
+  }
+
+  // V7: main chain fully published.
+  if (main_tip != kNoBlock) {
+    for (BlockId b : tree.chain_from_genesis(main_tip)) {
+      if (!tree.is_published(b)) {
+        report(r, b, "main-chain block is unpublished");
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace ethsm::chain

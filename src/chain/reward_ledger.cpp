@@ -1,0 +1,78 @@
+#include "chain/reward_ledger.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace ethsm::chain {
+
+std::vector<BlockFate> classify_blocks(const BlockTree& tree,
+                                       BlockId main_tip) {
+  std::vector<BlockFate> fate(tree.size(), BlockFate::stale);
+  const auto main_chain = tree.chain_from_genesis(main_tip);
+  for (BlockId b : main_chain) fate[b] = BlockFate::regular;
+  for (BlockId b : main_chain) {
+    for (BlockId u : tree.block(b).uncle_refs) {
+      ETHSM_ENSURES(fate[u] != BlockFate::regular,
+                    "a main-chain block cannot be referenced as an uncle");
+      fate[u] = BlockFate::referenced_uncle;
+    }
+  }
+  return fate;
+}
+
+LedgerResult settle_rewards(const BlockTree& tree, BlockId main_tip,
+                            const rewards::RewardConfig& config,
+                            std::uint32_t num_miners) {
+  LedgerResult result;
+  if (num_miners > 0) result.per_miner_reward.assign(num_miners, 0.0);
+
+  auto pay = [&result](MinerClass c, std::uint32_t miner_id, double amount,
+                       double ClassRewards::* component) {
+    result.rewards[static_cast<std::size_t>(c)].*component += amount;
+    if (!result.per_miner_reward.empty()) {
+      ETHSM_EXPECTS(miner_id < result.per_miner_reward.size(),
+                    "miner id out of range for per-miner accounting");
+      result.per_miner_reward[miner_id] += amount;
+    }
+  };
+
+  const auto main_chain = tree.chain_from_genesis(main_tip);
+  // Skip genesis (index 0): it predates the experiment and earns nothing.
+  for (std::size_t idx = 1; idx < main_chain.size(); ++idx) {
+    const Block& nephew = tree.block(main_chain[idx]);
+    pay(nephew.miner, nephew.miner_id, 1.0, &ClassRewards::static_reward);
+
+    for (BlockId uid : nephew.uncle_refs) {
+      const Block& uncle = tree.block(uid);
+      ETHSM_ENSURES(uncle.height < nephew.height,
+                    "uncle must be below its nephew");
+      const int distance = static_cast<int>(nephew.height - uncle.height);
+      pay(uncle.miner, uncle.miner_id, config.uncle_reward(distance),
+          &ClassRewards::uncle_reward);
+      pay(nephew.miner, nephew.miner_id, config.nephew_reward(distance),
+          &ClassRewards::nephew_reward);
+      result.uncle_distance[static_cast<std::size_t>(uncle.miner)].add(
+          static_cast<std::size_t>(std::min(distance, 7)));
+    }
+  }
+
+  const auto fates = classify_blocks(tree, main_tip);
+  for (BlockId b = 1; b < tree.size(); ++b) {  // skip genesis
+    auto& counts = result.fates[static_cast<std::size_t>(tree.block(b).miner)];
+    switch (fates[b]) {
+      case BlockFate::regular:
+        ++counts.regular;
+        break;
+      case BlockFate::referenced_uncle:
+        ++counts.referenced_uncle;
+        break;
+      case BlockFate::stale:
+        ++counts.stale;
+        break;
+    }
+  }
+  return result;
+}
+
+}  // namespace ethsm::chain

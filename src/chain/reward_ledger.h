@@ -1,0 +1,93 @@
+// End-of-run reward accounting (paper Sec. III-B, Table I).
+//
+// Once a simulation run finishes and the main chain is fixed, the ledger walks
+// the main chain and pays out, per miner class (and optionally per miner id):
+//   * the static reward Ks = 1 for every regular block,
+//   * Ku(d) to the miner of every referenced uncle,
+//   * Kn(d) to the miner of every referencing (nephew) block,
+// and classifies every block in the tree as regular / referenced uncle /
+// plain stale. It also records the reference-distance histograms that
+// reproduce Table II.
+
+#ifndef ETHSM_CHAIN_REWARD_LEDGER_H
+#define ETHSM_CHAIN_REWARD_LEDGER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "chain/block_tree.h"
+#include "rewards/reward_schedule.h"
+#include "support/stats.h"
+
+namespace ethsm::chain {
+
+/// Reward totals for one miner class, in units of the static reward Ks.
+struct ClassRewards {
+  double static_reward = 0.0;
+  double uncle_reward = 0.0;
+  double nephew_reward = 0.0;
+
+  [[nodiscard]] double total() const noexcept {
+    return static_reward + uncle_reward + nephew_reward;
+  }
+
+  ClassRewards& operator+=(const ClassRewards& o) noexcept {
+    static_reward += o.static_reward;
+    uncle_reward += o.uncle_reward;
+    nephew_reward += o.nephew_reward;
+    return *this;
+  }
+};
+
+/// Block-classification counts per miner class.
+struct FateCounts {
+  std::uint64_t regular = 0;
+  std::uint64_t referenced_uncle = 0;
+  std::uint64_t stale = 0;
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return regular + referenced_uncle + stale;
+  }
+};
+
+/// Full accounting result for one finished chain.
+struct LedgerResult {
+  ClassRewards rewards[2];   ///< indexed by MinerClass
+  FateCounts fates[2];       ///< indexed by MinerClass
+  /// Reference-distance histogram per class of the *uncle's* miner
+  /// (bucket = distance; bucket 0 unused). Reproduces Table II.
+  support::Histogram uncle_distance[2] = {support::Histogram(8),
+                                          support::Histogram(8)};
+  /// Per-miner-id reward totals; empty unless requested.
+  std::vector<double> per_miner_reward;
+
+  [[nodiscard]] const ClassRewards& of(MinerClass c) const {
+    return rewards[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] const FateCounts& fate_of(MinerClass c) const {
+    return fates[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] std::uint64_t regular_total() const noexcept {
+    return fates[0].regular + fates[1].regular;
+  }
+  [[nodiscard]] std::uint64_t referenced_uncle_total() const noexcept {
+    return fates[0].referenced_uncle + fates[1].referenced_uncle;
+  }
+};
+
+/// Walks the chain ending at `main_tip` and produces the accounting above.
+/// `num_miners` > 0 enables per-miner-id accounting (population simulator).
+/// The genesis block earns nothing and is not counted as a regular block.
+[[nodiscard]] LedgerResult settle_rewards(const BlockTree& tree,
+                                          BlockId main_tip,
+                                          const rewards::RewardConfig& config,
+                                          std::uint32_t num_miners = 0);
+
+/// Classifies every block in the tree relative to the main chain ending at
+/// `main_tip`. Index = BlockId; genesis is classified regular.
+[[nodiscard]] std::vector<BlockFate> classify_blocks(
+    const BlockTree& tree, BlockId main_tip);
+
+}  // namespace ethsm::chain
+
+#endif  // ETHSM_CHAIN_REWARD_LEDGER_H

@@ -1,0 +1,96 @@
+#include "chain/uncle_index.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace ethsm::chain {
+
+namespace {
+
+/// Walks the `horizon + 1` nearest ancestors of the prospective block (parent
+/// and up), invoking fn(ancestor). The prospective block sits at
+/// height(parent) + 1; an uncle at the maximum distance `horizon` is a child
+/// of the ancestor at height(new) - horizon - 1, so the walk must reach one
+/// level below the deepest eligible uncle.
+template <typename Fn>
+void for_each_window_ancestor(const BlockTree& tree, BlockId parent,
+                              int horizon, Fn&& fn) {
+  BlockId cur = parent;
+  for (int steps = 0; steps <= horizon; ++steps) {
+    fn(cur);
+    if (cur == tree.genesis()) break;
+    cur = tree.parent(cur);
+  }
+}
+
+}  // namespace
+
+std::vector<UncleCandidate> find_uncle_candidates(const BlockTree& tree,
+                                                  BlockId parent, int horizon) {
+  ETHSM_EXPECTS(horizon >= 0, "horizon must be non-negative");
+  std::vector<UncleCandidate> out;
+  if (horizon == 0) return out;
+
+  const std::uint32_t new_height = tree.height(parent) + 1;
+
+  // References already consumed on this chain. Any uncle eligible for the new
+  // block has height >= new_height - horizon, so a referencing ancestor would
+  // itself lie within the window (its height exceeds the uncle's).
+  std::vector<BlockId> already_referenced;
+  for_each_window_ancestor(tree, parent, horizon, [&](BlockId anc) {
+    const auto& refs = tree.block(anc).uncle_refs;
+    already_referenced.insert(already_referenced.end(), refs.begin(),
+                              refs.end());
+  });
+
+  // Candidates: published non-ancestor children of window ancestors.
+  BlockId on_chain_child = kNoBlock;  // the window ancestor one level below
+  for_each_window_ancestor(tree, parent, horizon, [&](BlockId anc) {
+    for (BlockId child : tree.children(anc)) {
+      if (child == on_chain_child || child == parent) continue;  // ancestor of N
+      if (!tree.is_published(child)) continue;  // invisible to other miners
+      if (std::find(already_referenced.begin(), already_referenced.end(),
+                    child) != already_referenced.end()) {
+        continue;
+      }
+      // Children of the direct parent sit at the prospective block's own
+      // height (distance 0): same-height competitors, not uncles.
+      const int distance = static_cast<int>(new_height - tree.height(child));
+      if (distance < 1 || distance > horizon) continue;
+      out.push_back(UncleCandidate{child, distance});
+    }
+    on_chain_child = anc;
+  });
+
+  std::sort(out.begin(), out.end(), [&tree](const auto& a, const auto& b) {
+    if (tree.height(a.id) != tree.height(b.id)) {
+      return tree.height(a.id) < tree.height(b.id);
+    }
+    return a.id < b.id;
+  });
+  return out;
+}
+
+std::vector<BlockId> collect_uncle_references(const BlockTree& tree,
+                                              BlockId parent, int horizon,
+                                              int max_refs) {
+  ETHSM_EXPECTS(max_refs >= 0, "max_refs must be >= 0 (0 = unlimited)");
+  auto candidates = find_uncle_candidates(tree, parent, horizon);
+  std::vector<BlockId> refs;
+  refs.reserve(candidates.size());
+  for (const auto& c : candidates) {
+    if (max_refs > 0 && static_cast<int>(refs.size()) >= max_refs) break;
+    refs.push_back(c.id);
+  }
+  return refs;
+}
+
+bool is_eligible_uncle(const BlockTree& tree, BlockId uncle, BlockId parent,
+                       int horizon) {
+  const auto candidates = find_uncle_candidates(tree, parent, horizon);
+  return std::any_of(candidates.begin(), candidates.end(),
+                     [uncle](const UncleCandidate& c) { return c.id == uncle; });
+}
+
+}  // namespace ethsm::chain

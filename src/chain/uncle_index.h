@@ -1,0 +1,50 @@
+// Uncle eligibility and reference collection (paper Sec. III-B).
+//
+// A block U is an *eligible uncle* for a prospective block N with parent P iff
+//   1. U is not an ancestor of N (it lies on a competing branch),
+//   2. U's parent IS an ancestor of N (U is a "direct child" of N's chain),
+//   3. the height distance d = height(N) - height(U) satisfies 1 <= d <= horizon,
+//   4. no ancestor of N (within the horizon window) already references U,
+//   5. U is visible to N's miner at creation time (published; the selfish
+//      pool's own private blocks are always ancestors of its new block, so
+//      visibility only ever filters other miners' withheld blocks).
+//
+// Both honest miners and the selfish pool "include as many reference links as
+// possible" (Sec. III-C); `max_refs` caps that (real Ethereum: 2 per block,
+// paper analysis: unlimited).
+
+#ifndef ETHSM_CHAIN_UNCLE_INDEX_H
+#define ETHSM_CHAIN_UNCLE_INDEX_H
+
+#include <vector>
+
+#include "chain/block_tree.h"
+
+namespace ethsm::chain {
+
+/// An eligible uncle together with the distance at which the prospective block
+/// would reference it.
+struct UncleCandidate {
+  BlockId id;
+  int distance;
+};
+
+/// Enumerates eligible uncles for a block about to be appended on `parent`.
+/// Candidates are returned oldest-first (smallest height first), which is also
+/// the greedy order used when `max_refs` truncates.
+[[nodiscard]] std::vector<UncleCandidate> find_uncle_candidates(
+    const BlockTree& tree, BlockId parent, int horizon);
+
+/// As find_uncle_candidates, but returns only the ids, truncated to
+/// `max_refs` (0 = unlimited). This is what the mining policies call.
+[[nodiscard]] std::vector<BlockId> collect_uncle_references(
+    const BlockTree& tree, BlockId parent, int horizon, int max_refs = 0);
+
+/// True iff `uncle` would be an eligible reference for a new block on
+/// `parent` at the given horizon (the conditions in the header comment).
+[[nodiscard]] bool is_eligible_uncle(const BlockTree& tree, BlockId uncle,
+                                     BlockId parent, int horizon);
+
+}  // namespace ethsm::chain
+
+#endif  // ETHSM_CHAIN_UNCLE_INDEX_H

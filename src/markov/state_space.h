@@ -1,0 +1,49 @@
+// Truncated enumeration of the Markov state space with dense indexing.
+//
+// The paper truncates at i, j < 200 for its numerical work (footnote 3); the
+// stationary mass of states with i = max_lead decays like alpha^i, so even
+// max_lead = 60 is far below double-precision noise for alpha <= 0.45. The
+// truncation is explicit here so convergence can be tested (stationary_test).
+
+#ifndef ETHSM_MARKOV_STATE_SPACE_H
+#define ETHSM_MARKOV_STATE_SPACE_H
+
+#include <vector>
+
+#include "markov/state.h"
+
+namespace ethsm::markov {
+
+class StateSpace {
+ public:
+  /// Enumerates (0,0), (1,0), (1,1) and all (i,j), 2 <= i <= max_lead,
+  /// 0 <= j <= i-2.
+  explicit StateSpace(int max_lead);
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(states_.size());
+  }
+  [[nodiscard]] int max_lead() const noexcept { return max_lead_; }
+
+  /// Dense index of a state; -1 if outside the (truncated) space.
+  [[nodiscard]] int index_of(const State& s) const noexcept;
+
+  [[nodiscard]] const State& state_at(int index) const;
+
+  [[nodiscard]] const std::vector<State>& states() const noexcept {
+    return states_;
+  }
+
+  /// Well-known indices.
+  [[nodiscard]] int idx_00() const noexcept { return 0; }
+  [[nodiscard]] int idx_10() const noexcept { return 1; }
+  [[nodiscard]] int idx_11() const noexcept { return 2; }
+
+ private:
+  int max_lead_;
+  std::vector<State> states_;
+};
+
+}  // namespace ethsm::markov
+
+#endif  // ETHSM_MARKOV_STATE_SPACE_H

@@ -1,0 +1,79 @@
+#include "markov/stationary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.h"
+#include "support/stats.h"
+
+namespace ethsm::markov {
+
+StationaryDistribution::StationaryDistribution(const StateSpace& space,
+                                               std::vector<double> pi,
+                                               int iterations, double residual)
+    : space_(&space),
+      pi_(std::move(pi)),
+      iterations_(iterations),
+      residual_(residual) {
+  ETHSM_EXPECTS(static_cast<int>(pi_.size()) == space.size(),
+                "distribution/space size mismatch");
+}
+
+double StationaryDistribution::at(const State& s) const {
+  const int idx = space_->index_of(s);
+  return idx < 0 ? 0.0 : pi_[static_cast<std::size_t>(idx)];
+}
+
+double StationaryDistribution::balance_residual(
+    const TransitionModel& model) const {
+  const int n = space_->size();
+  std::vector<double> inflow(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> outflow(static_cast<std::size_t>(n), 0.0);
+  for (const Transition& t : model.transitions()) {
+    if (t.from == t.to) continue;  // self-loops cancel in balance
+    const double flux = pi_[static_cast<std::size_t>(t.from)] * t.rate;
+    outflow[static_cast<std::size_t>(t.from)] += flux;
+    inflow[static_cast<std::size_t>(t.to)] += flux;
+  }
+  double worst = 0.0;
+  for (int s = 0; s < n; ++s) {
+    worst = std::max(worst, std::fabs(inflow[static_cast<std::size_t>(s)] -
+                                      outflow[static_cast<std::size_t>(s)]));
+  }
+  return worst;
+}
+
+StationaryDistribution solve_stationary(const TransitionModel& model,
+                                        const StationaryOptions& options) {
+  const int n = model.space().size();
+  std::vector<double> pi(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> next(static_cast<std::size_t>(n), 0.0);
+  pi[0] = 1.0;  // start at (0,0); any distribution works
+
+  double diff = 1.0;
+  int iter = 0;
+  for (; iter < options.max_iterations && diff > options.tolerance; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (const Transition& t : model.transitions()) {
+      next[static_cast<std::size_t>(t.to)] +=
+          pi[static_cast<std::size_t>(t.from)] * t.rate;
+    }
+    diff = 0.0;
+    for (int s = 0; s < n; ++s) {
+      diff += std::fabs(next[static_cast<std::size_t>(s)] -
+                        pi[static_cast<std::size_t>(s)]);
+    }
+    pi.swap(next);
+  }
+
+  // Renormalise: the row sums are exactly 1 by construction, but a long
+  // iteration accumulates rounding at the 1e-16 level.
+  support::KahanSum total;
+  for (double p : pi) total.add(p);
+  ETHSM_ENSURES(total.value() > 0.0, "stationary mass vanished");
+  for (double& p : pi) p /= total.value();
+
+  return StationaryDistribution(model.space(), std::move(pi), iter, diff);
+}
+
+}  // namespace ethsm::markov

@@ -1,0 +1,59 @@
+// Stationary distribution of the selfish-mining chain (paper Sec. IV-C).
+//
+// Because the total outgoing rate of every state equals the total block
+// production rate (= 1 after the Sec. IV-B rescaling), the CTMC's stationary
+// vector coincides with that of the discrete-time jump chain whose transition
+// probabilities equal the rates. We solve that DTMC by power iteration on the
+// sparse transition structure; the chain regenerates at (0,0) frequently, so
+// convergence is fast for all alpha < 0.5.
+
+#ifndef ETHSM_MARKOV_STATIONARY_H
+#define ETHSM_MARKOV_STATIONARY_H
+
+#include <vector>
+
+#include "markov/transition_model.h"
+
+namespace ethsm::markov {
+
+struct StationaryOptions {
+  double tolerance = 1e-14;  ///< L1 change per sweep at which to stop
+  int max_iterations = 200'000;
+};
+
+/// The solved distribution plus solver diagnostics.
+class StationaryDistribution {
+ public:
+  StationaryDistribution(const StateSpace& space, std::vector<double> pi,
+                         int iterations, double residual);
+
+  /// pi(state) by dense index.
+  [[nodiscard]] double operator[](int index) const {
+    return pi_[static_cast<std::size_t>(index)];
+  }
+  /// pi(state) by coordinates; 0 for states outside the truncated space.
+  [[nodiscard]] double at(const State& s) const;
+
+  [[nodiscard]] const std::vector<double>& values() const noexcept {
+    return pi_;
+  }
+  [[nodiscard]] int iterations() const noexcept { return iterations_; }
+  /// Final L1 change per sweep (convergence witness).
+  [[nodiscard]] double residual() const noexcept { return residual_; }
+  /// Max |inflow - outflow| over states: how well global balance holds.
+  [[nodiscard]] double balance_residual(const TransitionModel& model) const;
+
+ private:
+  const StateSpace* space_;
+  std::vector<double> pi_;
+  int iterations_;
+  double residual_;
+};
+
+/// Solves for the stationary distribution of `model`.
+[[nodiscard]] StationaryDistribution solve_stationary(
+    const TransitionModel& model, const StationaryOptions& options = {});
+
+}  // namespace ethsm::markov
+
+#endif  // ETHSM_MARKOV_STATIONARY_H

@@ -1,0 +1,115 @@
+#include "markov/transition_model.h"
+
+#include "support/check.h"
+
+namespace ethsm::markov {
+
+void MiningParams::validate() const {
+  ETHSM_EXPECTS(alpha >= 0.0 && alpha < 0.5,
+                "alpha must lie in [0, 0.5) for a positive-recurrent chain");
+  ETHSM_EXPECTS(gamma >= 0.0 && gamma <= 1.0, "gamma must lie in [0, 1]");
+}
+
+const char* to_string(TransitionKind k) noexcept {
+  switch (k) {
+    case TransitionKind::honest_at_consensus: return "honest_at_consensus";
+    case TransitionKind::pool_first_lead: return "pool_first_lead";
+    case TransitionKind::pool_extend_lead: return "pool_extend_lead";
+    case TransitionKind::honest_match: return "honest_match";
+    case TransitionKind::pool_win_tie: return "pool_win_tie";
+    case TransitionKind::honest_resolve_tie: return "honest_resolve_tie";
+    case TransitionKind::honest_resolve_lead2_nofork:
+      return "honest_resolve_lead2_nofork";
+    case TransitionKind::honest_resolve_lead2_prefix:
+      return "honest_resolve_lead2_prefix";
+    case TransitionKind::honest_resolve_lead2_fork:
+      return "honest_resolve_lead2_fork";
+    case TransitionKind::honest_first_fork: return "honest_first_fork";
+    case TransitionKind::honest_prefix_reroot: return "honest_prefix_reroot";
+    case TransitionKind::honest_fork_extend: return "honest_fork_extend";
+  }
+  return "unknown";
+}
+
+TransitionModel::TransitionModel(const StateSpace& space,
+                                 const MiningParams& params)
+    : space_(space), params_(params) {
+  params_.validate();
+  build();
+}
+
+void TransitionModel::build() {
+  const double a = params_.alpha;
+  const double b = params_.beta();
+  const double g = params_.gamma;
+  const int n = space_.size();
+
+  first_out_.assign(static_cast<std::size_t>(n) + 1, 0);
+  transitions_.clear();
+  transitions_.reserve(static_cast<std::size_t>(n) * 3);
+
+  auto idx = [this](int ls, int lh) {
+    const int i = space_.index_of(State{ls, lh});
+    ETHSM_ENSURES(i >= 0, "transition target outside the state space");
+    return i;
+  };
+
+  for (int s = 0; s < n; ++s) {
+    first_out_[static_cast<std::size_t>(s)] =
+        static_cast<std::uint32_t>(transitions_.size());
+    const State st = space_.state_at(s);
+    auto add = [&](int to, double rate, TransitionKind kind) {
+      if (rate > 0.0) transitions_.push_back(Transition{s, to, rate, kind});
+    };
+
+    if (st == State{0, 0}) {
+      add(s, b, TransitionKind::honest_at_consensus);
+      add(idx(1, 0), a, TransitionKind::pool_first_lead);
+    } else if (st == State{1, 0}) {
+      add(idx(2, 0), a, TransitionKind::pool_extend_lead);
+      add(idx(1, 1), b, TransitionKind::honest_match);
+    } else if (st == State{1, 1}) {
+      // Pool reaches (2,1) and instantly wins; honest resolves either way.
+      add(idx(0, 0), a, TransitionKind::pool_win_tie);
+      add(idx(0, 0), b, TransitionKind::honest_resolve_tie);
+    } else if (st.lh == 0) {
+      // (i, 0), i >= 2: pool keeps extending; an honest block either forces
+      // the final publish (i == 2) or opens the first public fork (i >= 3).
+      const int to_pool = st.ls + 1 <= space_.max_lead()
+                              ? idx(st.ls + 1, 0)
+                              : s;  // truncation: self-loop
+      add(to_pool, a, TransitionKind::pool_extend_lead);
+      if (st.ls == 2) {
+        add(idx(0, 0), b, TransitionKind::honest_resolve_lead2_nofork);
+      } else {
+        add(idx(st.ls, 1), b, TransitionKind::honest_first_fork);
+      }
+    } else {
+      // (i, j), j >= 1, i - j >= 2.
+      const int to_pool = st.ls + 1 <= space_.max_lead()
+                              ? idx(st.ls + 1, st.lh)
+                              : s;  // truncation: self-loop
+      add(to_pool, a, TransitionKind::pool_extend_lead);
+      if (st.lead() == 2) {
+        add(idx(0, 0), b * g, TransitionKind::honest_resolve_lead2_prefix);
+        add(idx(0, 0), b * (1.0 - g), TransitionKind::honest_resolve_lead2_fork);
+      } else {
+        add(idx(st.lead(), 1), b * g, TransitionKind::honest_prefix_reroot);
+        add(idx(st.ls, st.lh + 1), b * (1.0 - g),
+            TransitionKind::honest_fork_extend);
+      }
+    }
+  }
+  first_out_[static_cast<std::size_t>(n)] =
+      static_cast<std::uint32_t>(transitions_.size());
+}
+
+std::pair<const Transition*, const Transition*> TransitionModel::outgoing(
+    int index) const {
+  ETHSM_EXPECTS(index >= 0 && index < space_.size(), "state index out of range");
+  const auto* base = transitions_.data();
+  return {base + first_out_[static_cast<std::size_t>(index)],
+          base + first_out_[static_cast<std::size_t>(index) + 1]};
+}
+
+}  // namespace ethsm::markov

@@ -1,0 +1,80 @@
+// Transition rates of the selfish-mining Markov process (paper Sec. IV-C,
+// Fig. 7), labelled with the Appendix-B case that analyses each transition's
+// new ("target") block. The labels are what the reward analysis keys on.
+
+#ifndef ETHSM_MARKOV_TRANSITION_MODEL_H
+#define ETHSM_MARKOV_TRANSITION_MODEL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "markov/state_space.h"
+
+namespace ethsm::markov {
+
+/// Hash-power split (paper Sec. III-A); beta = 1 - alpha implicitly.
+struct MiningParams {
+  double alpha = 0.3;  ///< selfish pool's share
+  double gamma = 0.5;  ///< honest share mining on the pool's branch at ties
+
+  void validate() const;
+  [[nodiscard]] double beta() const noexcept { return 1.0 - alpha; }
+};
+
+/// Which structural event a transition represents; numbering follows the
+/// Appendix-B cases (see analysis/reward_cases.h for the reward attribution).
+enum class TransitionKind : std::uint8_t {
+  honest_at_consensus,        ///< Case 1:  (0,0) -b-> (0,0)
+  pool_first_lead,            ///< Case 2:  (0,0) -a-> (1,0)
+  pool_extend_lead,           ///< Case 3/6: pool extends its private branch
+  honest_match,               ///< Case 4:  (1,0) -b-> (1,1)
+  pool_win_tie,               ///< Case 5a: (1,1) -a-> (0,0)
+  honest_resolve_tie,         ///< Case 5b: (1,1) -b-> (0,0)
+  honest_resolve_lead2_nofork,///< Case 9:  (2,0) -b-> (0,0)
+  honest_resolve_lead2_prefix,///< Case 8:  (j+2,j) -bg-> (0,0), j >= 1
+  honest_resolve_lead2_fork,  ///< Case 12: (j+2,j) -b(1-g)-> (0,0), j >= 1
+  honest_first_fork,          ///< Case 10: (i,0) -b-> (i,1), i >= 3
+  honest_prefix_reroot,       ///< Case 7:  (i,j) -bg-> (i-j,1), i-j >= 3, j >= 1
+  honest_fork_extend,         ///< Case 11: (i,j) -b(1-g)-> (i,j+1), i-j >= 3, j >= 1
+};
+
+[[nodiscard]] const char* to_string(TransitionKind k) noexcept;
+
+struct Transition {
+  int from = -1;
+  int to = -1;
+  double rate = 0.0;
+  TransitionKind kind{};
+};
+
+/// All outgoing transitions for every state in the (truncated) space.
+/// Invariant: outgoing rates of every state sum to exactly 1 (the total block
+/// production rate after the Sec. IV-B time rescaling); at the truncation
+/// boundary the pool-extension transition self-loops, which is harmless
+/// because the boundary mass is ~alpha^max_lead.
+class TransitionModel {
+ public:
+  TransitionModel(const StateSpace& space, const MiningParams& params);
+
+  [[nodiscard]] const std::vector<Transition>& transitions() const noexcept {
+    return transitions_;
+  }
+  /// Transitions leaving state `index` (contiguous in the vector).
+  [[nodiscard]] std::pair<const Transition*, const Transition*> outgoing(
+      int index) const;
+
+  [[nodiscard]] const StateSpace& space() const noexcept { return space_; }
+  [[nodiscard]] const MiningParams& params() const noexcept { return params_; }
+
+ private:
+  void build();
+
+  const StateSpace& space_;
+  MiningParams params_;
+  std::vector<Transition> transitions_;
+  std::vector<std::uint32_t> first_out_;  ///< size() + 1 offsets
+};
+
+}  // namespace ethsm::markov
+
+#endif  // ETHSM_MARKOV_TRANSITION_MODEL_H

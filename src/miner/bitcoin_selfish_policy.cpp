@@ -1,0 +1,22 @@
+#include "miner/bitcoin_selfish_policy.h"
+
+namespace ethsm::miner {
+
+namespace {
+
+SelfishPolicyConfig bitcoin_config(std::uint32_t pool_miner_id) {
+  SelfishPolicyConfig cfg;
+  cfg.reference_uncles = false;  // Bitcoin has no uncle mechanism at all
+  cfg.reference_horizon = 0;
+  cfg.max_uncles_per_block = 0;
+  cfg.pool_miner_id = pool_miner_id;
+  return cfg;
+}
+
+}  // namespace
+
+BitcoinSelfishPolicy::BitcoinSelfishPolicy(chain::BlockTree& tree,
+                                           std::uint32_t pool_miner_id)
+    : inner_(tree, bitcoin_config(pool_miner_id)) {}
+
+}  // namespace ethsm::miner

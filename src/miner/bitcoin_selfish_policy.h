@@ -1,0 +1,45 @@
+// Eyal–Sirer "Selfish-Mine" for Bitcoin (the paper's comparison baseline,
+// Sec. V-C / Fig. 10 "Ittay Model in Bitcoin").
+//
+// The chain dynamics of Algorithm 1 are exactly the Eyal–Sirer strategy; what
+// Ethereum adds is the uncle/nephew reward plumbing. This wrapper therefore
+// reuses SelfishPolicy with uncle referencing disabled, and exists as its own
+// type so that (a) Bitcoin experiments read as Bitcoin experiments at call
+// sites and (b) the equivalence itself is pinned by tests: running this policy
+// must reproduce the Eyal–Sirer closed-form revenue (analysis/bitcoin_es.h).
+
+#ifndef ETHSM_MINER_BITCOIN_SELFISH_POLICY_H
+#define ETHSM_MINER_BITCOIN_SELFISH_POLICY_H
+
+#include "miner/selfish_policy.h"
+
+namespace ethsm::miner {
+
+class BitcoinSelfishPolicy {
+ public:
+  explicit BitcoinSelfishPolicy(chain::BlockTree& tree,
+                                std::uint32_t pool_miner_id = 0);
+
+  chain::BlockId on_pool_block(double now) { return inner_.on_pool_block(now); }
+  void on_honest_block(chain::BlockId b, double now) {
+    inner_.on_honest_block(b, now);
+  }
+  chain::BlockId finalize(double now) { return inner_.finalize(now); }
+
+  [[nodiscard]] PublicView public_view() const { return inner_.public_view(); }
+  [[nodiscard]] int private_length() const { return inner_.private_length(); }
+  [[nodiscard]] int public_length() const { return inner_.public_length(); }
+  [[nodiscard]] const SelfishActionCounts& actions() const {
+    return inner_.actions();
+  }
+
+  /// The underlying Algorithm-1 machine (for tests asserting equivalence).
+  [[nodiscard]] const SelfishPolicy& inner() const { return inner_; }
+
+ private:
+  SelfishPolicy inner_;
+};
+
+}  // namespace ethsm::miner
+
+#endif  // ETHSM_MINER_BITCOIN_SELFISH_POLICY_H

@@ -1,0 +1,47 @@
+// Honest mining behaviour (paper Sec. II-B, III-C and the network model of
+// Sec. IV-A): mine on a longest public chain; when two equal-length public
+// branches exist, a fraction gamma of honest hash power mines on the selfish
+// pool's branch (gamma captures the pool's communication capability); always
+// reference every eligible unreferenced uncle; publish immediately.
+
+#ifndef ETHSM_MINER_HONEST_POLICY_H
+#define ETHSM_MINER_HONEST_POLICY_H
+
+#include "chain/block_tree.h"
+#include "miner/policy_types.h"
+#include "rewards/reward_schedule.h"
+#include "support/rng.h"
+
+namespace ethsm::miner {
+
+class HonestPolicy {
+ public:
+  /// gamma in [0, 1]: probability an honest block lands on the pool's branch
+  /// during a tie (paper Sec. IV-A; uniform tie-breaking = 0.5).
+  HonestPolicy(double gamma, const rewards::RewardConfig& rewards);
+
+  /// Picks the parent for the next honest block, sampling the tie-break.
+  [[nodiscard]] chain::BlockId choose_parent(const PublicView& view,
+                                             support::Xoshiro256& rng) const;
+
+  /// As above, but with an externally fixed tie preference (population
+  /// simulator: each miner carries its own sampled preference).
+  [[nodiscard]] static chain::BlockId parent_for_preference(
+      const PublicView& view, bool prefers_pool_branch);
+
+  /// Creates and immediately publishes an honest block on `parent`,
+  /// referencing all eligible uncles (Algorithm 1 line 8).
+  chain::BlockId mine_block(chain::BlockTree& tree, chain::BlockId parent,
+                            double now, std::uint32_t miner_id) const;
+
+  [[nodiscard]] double gamma() const noexcept { return gamma_; }
+
+ private:
+  double gamma_;
+  int horizon_;
+  int max_refs_;
+};
+
+}  // namespace ethsm::miner
+
+#endif  // ETHSM_MINER_HONEST_POLICY_H

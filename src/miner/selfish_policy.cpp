@@ -1,0 +1,170 @@
+#include "miner/selfish_policy.h"
+
+#include "chain/uncle_index.h"
+#include "support/check.h"
+
+namespace ethsm::miner {
+
+using chain::BlockId;
+using chain::kNoBlock;
+
+SelfishPolicy::SelfishPolicy(chain::BlockTree& tree, SelfishPolicyConfig config)
+    : tree_(tree), config_(config), base_(tree.genesis()) {
+  ETHSM_EXPECTS(config_.reference_horizon >= 0, "horizon must be >= 0");
+  ETHSM_EXPECTS(config_.max_uncles_per_block >= 0, "cap must be >= 0");
+}
+
+BlockId SelfishPolicy::private_tip() const noexcept {
+  return private_.empty() ? base_ : private_.back();
+}
+
+BlockId SelfishPolicy::published_pool_tip() const noexcept {
+  return published_ == 0 ? kNoBlock
+                         : private_[static_cast<std::size_t>(published_ - 1)];
+}
+
+int SelfishPolicy::public_length() const noexcept {
+  // Both public branches always have equal length (paper Sec. III-C); the
+  // published prefix count equals the honest fork length, except in (i, 0)
+  // states where both are zero.
+  return honest_len_ > published_ ? honest_len_ : published_;
+}
+
+std::vector<BlockId> SelfishPolicy::make_references(BlockId parent) const {
+  if (!config_.reference_uncles) return {};
+  return chain::collect_uncle_references(tree_, parent,
+                                         config_.reference_horizon,
+                                         config_.max_uncles_per_block);
+}
+
+void SelfishPolicy::publish_up_to(int count, double now) {
+  ETHSM_ASSERT(count <= static_cast<int>(private_.size()));
+  for (int i = published_; i < count; ++i) {
+    tree_.publish(private_[static_cast<std::size_t>(i)], now);
+  }
+  if (count > published_) published_ = count;
+}
+
+void SelfishPolicy::reset_to(BlockId new_base) {
+  base_ = new_base;
+  private_.clear();
+  published_ = 0;
+  honest_tip_ = kNoBlock;
+  honest_len_ = 0;
+}
+
+BlockId SelfishPolicy::on_pool_block(double now) {
+  // Algorithm 1 lines 1-2: reference uncles from the private branch, extend it.
+  const BlockId parent = private_tip();
+  const BlockId id = tree_.append(parent, chain::MinerClass::selfish,
+                                  config_.pool_miner_id, now,
+                                  make_references(parent));
+  private_.push_back(id);
+
+  // Lines 3-5: at (Ls, Lh) = (2, 1) the advantage is too small to keep
+  // racing -- publish everything; the 2-block branch beats the 1-block fork.
+  if (private_length() == 2 && public_length() == 1) {
+    publish_up_to(2, now);
+    ++actions_.win_at_2_1;
+    reset_to(private_.back());
+  }
+  // Line 7: otherwise keep mining privately; nothing is published.
+  return id;
+}
+
+void SelfishPolicy::on_honest_block(BlockId b, double now) {
+  const BlockId parent = tree_.parent(b);
+  ETHSM_EXPECTS(tree_.is_published(b), "honest blocks must arrive published");
+
+  // Which public branch did the honest block extend, and is that branch a
+  // prefix of the private branch?
+  bool on_prefix;
+  if (honest_len_ == 0 && published_ == 0) {
+    // No fork in public view: the honest block must extend the consensus
+    // base, which is by construction a prefix of the private branch.
+    ETHSM_EXPECTS(parent == base_, "honest block off the public tip");
+    on_prefix = true;
+  } else if (parent == honest_tip_) {
+    on_prefix = false;
+  } else if (parent == published_pool_tip()) {
+    on_prefix = true;
+  } else {
+    ETHSM_EXPECTS(false, "honest block extends neither public branch");
+    return;  // unreachable
+  }
+
+  // Algorithm 1 line 9: the extended public branch now has this length.
+  const int new_public_len = (on_prefix ? published_ : honest_len_) + 1;
+  const int ls = private_length();
+
+  if (ls < new_public_len) {
+    // Lines 10-12: the public branch won; adopt it. The pool never abandons
+    // unpublished work here (only states with Ls <= 1 reach this branch).
+    ETHSM_ASSERT(published_ == ls);
+    ++actions_.adopt;
+    reset_to(b);
+  } else if (ls == new_public_len) {
+    // Lines 13-14: tie race -- publish the last (only) private block. Only
+    // reachable from (1, 0): leads of >= 2 resolve before a tie can form.
+    ETHSM_ASSERT(ls == 1 && published_ == 0 && on_prefix);
+    publish_up_to(1, now);
+    honest_tip_ = b;
+    honest_len_ = 1;
+    ++actions_.match;
+  } else if (ls == new_public_len + 1) {
+    // Lines 15-17: advantage down to one block -- publish the private branch;
+    // it is strictly longer, so every miner adopts it (honest fork dies).
+    publish_up_to(ls, now);
+    ++actions_.override_publish;
+    reset_to(private_.back());
+  } else {
+    // Lines 18-20: comfortable lead (Ls >= Lh + 2): release one more block.
+    if (on_prefix) {
+      if (published_ > 0) {
+        // Line 20: the honest block forked off the *published prefix tip*;
+        // everything up to that tip is now common history. Re-root there.
+        base_ = private_[static_cast<std::size_t>(published_ - 1)];
+        private_.erase(private_.begin(), private_.begin() + published_);
+        published_ = 0;
+        ++actions_.reroot;
+      }
+      honest_tip_ = b;
+      honest_len_ = 1;
+    } else {
+      honest_tip_ = b;
+      ++honest_len_;
+    }
+    publish_up_to(honest_len_, now);
+    ++actions_.publish_one;
+  }
+}
+
+BlockId SelfishPolicy::finalize(double now) {
+  publish_up_to(private_length(), now);
+  // Longest published branch wins; on equal length the honest branch was
+  // visible first, so honest miners keep it (uniform first-seen rule).
+  const BlockId tip =
+      private_length() > honest_len_ ? private_tip()
+      : honest_len_ > 0              ? honest_tip_
+                                     : base_;
+  return tip;
+}
+
+PublicView SelfishPolicy::public_view() const {
+  PublicView view;
+  if (published_ > 0) {
+    // Whenever a prefix is published there is a live race between the pool's
+    // published branch and the honest fork of equal length.
+    ETHSM_ASSERT(honest_len_ == published_);
+    view.tie = true;
+    view.pool_branch_tip = published_pool_tip();
+    view.honest_branch_tip = honest_tip_;
+  } else {
+    ETHSM_ASSERT(honest_len_ == 0);
+    view.tie = false;
+    view.consensus_tip = base_;
+  }
+  return view;
+}
+
+}  // namespace ethsm::miner

@@ -1,0 +1,109 @@
+// Algorithm 1 of the paper ("A selfish Mining Strategy in Ethereum") as an
+// explicit state machine operating on a real BlockTree.
+//
+// The policy mirrors the paper's (Ls, Lh) bookkeeping:
+//   * Ls -- length of the pool's private branch measured from the fork base,
+//   * Lh -- length of the (always equal-length) public branches.
+//
+// Internally it maintains:
+//   * `base_`       -- the fork base: last block everyone agrees on,
+//   * `private_`    -- the pool's branch above the base (a prefix of which may
+//                      already be published),
+//   * `published_`  -- how many of `private_` are published (the pool's public
+//                      prefix); invariant: published_ == honest_len_ whenever
+//                      both branches exist,
+//   * `honest_tip_/honest_len_` -- the honest public fork above the base.
+//
+// Every pool block references all eligible uncles visible on the private
+// branch (Algorithm 1 line 1); this is what earns the pool nephew rewards and
+// locks honest uncles to the distances derived in Appendix B.
+
+#ifndef ETHSM_MINER_SELFISH_POLICY_H
+#define ETHSM_MINER_SELFISH_POLICY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "chain/block_tree.h"
+#include "miner/policy_types.h"
+#include "rewards/reward_schedule.h"
+
+namespace ethsm::miner {
+
+struct SelfishPolicyConfig {
+  /// Maximum distance at which an uncle may be referenced (Ethereum: 6).
+  int reference_horizon = rewards::kMaxUncleDistance;
+  /// Per-block reference cap; 0 = unlimited (paper mode), 2 = real Ethereum.
+  int max_uncles_per_block = 0;
+  /// Disable uncle referencing entirely: this turns Algorithm 1 into the
+  /// original Eyal–Sirer Bitcoin strategy (the chain dynamics of the two are
+  /// identical; only the reward plumbing differs).
+  bool reference_uncles = true;
+  /// Miner id stamped on pool blocks (population simulator).
+  std::uint32_t pool_miner_id = 0;
+
+  [[nodiscard]] static SelfishPolicyConfig from_rewards(
+      const rewards::RewardConfig& rc) {
+    SelfishPolicyConfig cfg;
+    cfg.reference_horizon = rc.reference_horizon();
+    cfg.max_uncles_per_block = rc.max_uncles_per_block;
+    cfg.reference_uncles = cfg.reference_horizon > 0;
+    return cfg;
+  }
+};
+
+class SelfishPolicy {
+ public:
+  /// The tree must outlive the policy. The policy starts at consensus =
+  /// the tree's genesis (state (0,0)).
+  SelfishPolicy(chain::BlockTree& tree, SelfishPolicyConfig config);
+
+  /// The pool mined a block: extend the private branch (and possibly win at
+  /// (Ls, Lh) = (2, 1), Algorithm 1 lines 1-7). Returns the new block.
+  chain::BlockId on_pool_block(double now);
+
+  /// An honest block `b` was appended & published by the honest side; react
+  /// per Algorithm 1 lines 8-20. `b`'s parent must be a current public tip.
+  void on_honest_block(chain::BlockId b, double now);
+
+  /// End of run: publish whatever is still private and return the tip of the
+  /// winning chain (longest; ties go to the honest branch, which was public
+  /// first). The policy is left in a terminal state.
+  chain::BlockId finalize(double now);
+
+  /// What honest miners can see right now.
+  [[nodiscard]] PublicView public_view() const;
+
+  [[nodiscard]] int private_length() const noexcept {  // Ls
+    return static_cast<int>(private_.size());
+  }
+  [[nodiscard]] int public_length() const noexcept;  // Lh
+  [[nodiscard]] chain::BlockId fork_base() const noexcept { return base_; }
+  [[nodiscard]] chain::BlockId private_tip() const noexcept;
+  /// Tip of the pool's published prefix; kNoBlock when nothing is published.
+  [[nodiscard]] chain::BlockId published_pool_tip() const noexcept;
+  [[nodiscard]] chain::BlockId honest_tip() const noexcept { return honest_tip_; }
+  [[nodiscard]] int published_count() const noexcept { return published_; }
+  [[nodiscard]] const SelfishActionCounts& actions() const noexcept {
+    return actions_;
+  }
+
+ private:
+  void publish_up_to(int count, double now);
+  void reset_to(chain::BlockId new_base);
+  [[nodiscard]] std::vector<chain::BlockId> make_references(
+      chain::BlockId parent) const;
+
+  chain::BlockTree& tree_;
+  SelfishPolicyConfig config_;
+  chain::BlockId base_;
+  std::vector<chain::BlockId> private_;
+  int published_ = 0;
+  chain::BlockId honest_tip_ = chain::kNoBlock;
+  int honest_len_ = 0;
+  SelfishActionCounts actions_;
+};
+
+}  // namespace ethsm::miner
+
+#endif  // ETHSM_MINER_SELFISH_POLICY_H

@@ -1,0 +1,180 @@
+#include "miner/stubborn_policy.h"
+
+#include "chain/uncle_index.h"
+#include "support/check.h"
+
+namespace ethsm::miner {
+
+using chain::BlockId;
+using chain::kNoBlock;
+
+StubbornPolicy::StubbornPolicy(chain::BlockTree& tree, StubbornConfig config)
+    : tree_(tree), config_(config), base_(tree.genesis()) {
+  ETHSM_EXPECTS(config_.trail_stubbornness >= 0,
+                "trail stubbornness must be >= 0");
+  ETHSM_EXPECTS(config_.reference_horizon >= 0, "horizon must be >= 0");
+}
+
+BlockId StubbornPolicy::private_tip() const noexcept {
+  return private_.empty() ? base_ : private_.back();
+}
+
+BlockId StubbornPolicy::published_pool_tip() const noexcept {
+  return published_ == 0 ? kNoBlock
+                         : private_[static_cast<std::size_t>(published_ - 1)];
+}
+
+std::vector<BlockId> StubbornPolicy::make_references(BlockId parent) const {
+  if (!config_.reference_uncles) return {};
+  return chain::collect_uncle_references(tree_, parent,
+                                         config_.reference_horizon,
+                                         config_.max_uncles_per_block);
+}
+
+void StubbornPolicy::publish_up_to(int count, double now) {
+  ETHSM_ASSERT(count <= static_cast<int>(private_.size()));
+  for (int i = published_; i < count; ++i) {
+    tree_.publish(private_[static_cast<std::size_t>(i)], now);
+  }
+  if (count > published_) published_ = count;
+}
+
+void StubbornPolicy::reset_to(BlockId new_base) {
+  base_ = new_base;
+  private_.clear();
+  published_ = 0;
+  honest_tip_ = kNoBlock;
+  honest_len_ = 0;
+}
+
+BlockId StubbornPolicy::on_pool_block(double now) {
+  const bool was_tie = in_tie() &&
+                       private_length() == honest_len_;  // fully matched race
+  const bool was_behind = private_length() < honest_len_;
+
+  const BlockId parent = private_tip();
+  const BlockId id = tree_.append(parent, chain::MinerClass::selfish,
+                                  config_.pool_miner_id, now,
+                                  make_references(parent));
+  private_.push_back(id);
+  const int ls = private_length();
+
+  if (was_tie) {
+    // Won the block race from a tie. Algorithm 1 reveals and banks the win;
+    // the equal-fork-stubborn miner stays dark and keeps racing.
+    if (config_.equal_fork_stubborn) {
+      ++actions_.held_fork;
+    } else {
+      publish_up_to(ls, now);
+      ++actions_.tie_win;
+      reset_to(private_.back());
+    }
+  } else if (was_behind && ls == honest_len_) {
+    // Trail-stubborn catch-up: reveal the whole branch, forcing a tie race
+    // between two equal-length public branches.
+    publish_up_to(ls, now);
+    ++actions_.caught_up;
+  }
+  // Otherwise: keep mining in the dark (covers Algorithm 1 line 7 and the
+  // trailing case where the pool is still behind).
+  return id;
+}
+
+void StubbornPolicy::on_honest_block(BlockId b, double now) {
+  ETHSM_EXPECTS(tree_.is_published(b), "honest blocks must arrive published");
+  const BlockId parent = tree_.parent(b);
+
+  // Which public branch did it extend?
+  bool on_prefix;
+  if (honest_len_ == 0 && published_ == 0) {
+    ETHSM_EXPECTS(parent == base_, "honest block off the public tip");
+    on_prefix = true;
+    honest_tip_ = b;
+    honest_len_ = 1;
+  } else if (parent == honest_tip_) {
+    on_prefix = false;
+    honest_tip_ = b;
+    ++honest_len_;
+  } else if (in_tie() && parent == published_pool_tip()) {
+    on_prefix = true;
+    if (published_ == private_length()) {
+      // Our fully-published branch just became strictly longest public
+      // history; we hold no secrets, so consensus moves to b.
+      ++actions_.adopt;
+      reset_to(b);
+      return;
+    }
+    // Re-root at the published tip (Algorithm 1 line 20): the published
+    // prefix is common history now; the race restarts one level up.
+    base_ = private_[static_cast<std::size_t>(published_ - 1)];
+    private_.erase(private_.begin(), private_.begin() + published_);
+    published_ = 0;
+    honest_tip_ = b;
+    honest_len_ = 1;
+    ++actions_.reroot;
+  } else {
+    ETHSM_EXPECTS(false, "honest block extends neither public branch");
+    return;  // unreachable
+  }
+  (void)on_prefix;
+
+  const int ls = private_length();
+  const int lh = honest_len_;
+
+  if (ls < lh) {
+    const int deficit = lh - ls;
+    if (deficit > config_.trail_stubbornness) {
+      // Beyond our stubbornness: concede and adopt the honest chain.
+      ++actions_.adopt;
+      reset_to(honest_tip_);
+    } else {
+      // Trail-stubborn: keep mining the private branch from behind.
+      ++actions_.trailed;
+    }
+  } else if (ls == lh) {
+    // Honest drew level with our private branch: reveal everything and race.
+    publish_up_to(ls, now);
+    ++actions_.match;
+  } else if (ls == lh + 1) {
+    if (config_.lead_stubborn) {
+      // Refuse the 1-block override win; tie the public race and keep the
+      // last block in reserve.
+      publish_up_to(lh, now);
+      ++actions_.held_lead;
+    } else {
+      publish_up_to(ls, now);
+      ++actions_.override_publish;
+      reset_to(private_.back());
+    }
+  } else {
+    // Comfortable lead: publish just enough to keep the public race level.
+    publish_up_to(lh, now);
+    ++actions_.publish_one;
+  }
+}
+
+BlockId StubbornPolicy::finalize(double now) {
+  publish_up_to(private_length(), now);
+  return private_length() > honest_len_ ? private_tip()
+         : honest_len_ > 0             ? honest_tip_
+                                       : base_;
+}
+
+PublicView StubbornPolicy::public_view() const {
+  PublicView view;
+  if (in_tie()) {
+    view.tie = true;
+    view.pool_branch_tip = published_pool_tip();
+    view.honest_branch_tip = honest_tip_;
+  } else if (honest_len_ > published_) {
+    view.tie = false;
+    view.consensus_tip = honest_tip_;  // the unique longest public branch
+  } else {
+    ETHSM_ASSERT(honest_len_ == 0 && published_ == 0);
+    view.tie = false;
+    view.consensus_tip = base_;
+  }
+  return view;
+}
+
+}  // namespace ethsm::miner

@@ -1,0 +1,90 @@
+#include "rewards/reward_schedule.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace ethsm::rewards {
+
+double ByzantiumUncleSchedule::reward(int distance) const {
+  ETHSM_EXPECTS(distance >= 1, "uncle distance must be >= 1");
+  if (distance > kMaxUncleDistance) return 0.0;
+  return static_cast<double>(8 - distance) / 8.0;
+}
+
+FlatUncleSchedule::FlatUncleSchedule(double value, int max_distance)
+    : value_(value), max_distance_(max_distance) {
+  ETHSM_EXPECTS(value >= 0.0, "uncle reward must be non-negative");
+  ETHSM_EXPECTS(max_distance >= 1, "max_distance must be >= 1");
+}
+
+double FlatUncleSchedule::reward(int distance) const {
+  ETHSM_EXPECTS(distance >= 1, "uncle distance must be >= 1");
+  return distance <= max_distance_ ? value_ : 0.0;
+}
+
+std::string FlatUncleSchedule::name() const {
+  std::ostringstream os;
+  os << "Ku = " << value_ * 8.0 << "/8 flat";
+  return os.str();
+}
+
+TableUncleSchedule::TableUncleSchedule(std::vector<double> values,
+                                       std::string name)
+    : values_(std::move(values)), name_(std::move(name)) {
+  ETHSM_EXPECTS(!values_.empty(), "table schedule needs at least one entry");
+  for (double v : values_) {
+    ETHSM_EXPECTS(v >= 0.0, "uncle rewards must be non-negative");
+  }
+}
+
+double TableUncleSchedule::reward(int distance) const {
+  ETHSM_EXPECTS(distance >= 1, "uncle distance must be >= 1");
+  if (distance > static_cast<int>(values_.size())) return 0.0;
+  return values_[static_cast<std::size_t>(distance - 1)];
+}
+
+NephewRewardSchedule::NephewRewardSchedule(double value, int max_distance)
+    : value_(value), max_distance_(max_distance) {
+  ETHSM_EXPECTS(value >= 0.0, "nephew reward must be non-negative");
+  ETHSM_EXPECTS(max_distance >= 0, "max_distance must be >= 0");
+}
+
+double NephewRewardSchedule::reward(int distance) const {
+  ETHSM_EXPECTS(distance >= 1, "nephew distance must be >= 1");
+  return distance <= max_distance_ ? value_ : 0.0;
+}
+
+RewardConfig RewardConfig::ethereum_byzantium() {
+  RewardConfig config;
+  config.uncle = std::make_shared<ByzantiumUncleSchedule>();
+  config.nephew = NephewRewardSchedule{};
+  return config;
+}
+
+RewardConfig RewardConfig::ethereum_flat(double ku_value, int max_distance) {
+  RewardConfig config;
+  config.uncle = std::make_shared<FlatUncleSchedule>(ku_value, max_distance);
+  config.nephew = NephewRewardSchedule{kEthereumNephewReward, max_distance};
+  return config;
+}
+
+RewardConfig RewardConfig::bitcoin() {
+  RewardConfig config;
+  config.uncle = std::make_shared<ZeroUncleSchedule>();
+  config.nephew = NephewRewardSchedule{0.0, 0};
+  return config;
+}
+
+std::vector<RewardTypeInfo> table1_reward_inventory() {
+  return {
+      {"Static Reward", true, true, "Compensate for miners' mining cost"},
+      {"Uncle Reward", true, false, "Reduce centralization trend of mining"},
+      {"Nephew Reward", true, false, "Encourage miners to reference uncle blocks"},
+      {"Transaction Fee (Gas Cost)", true, true,
+       "Transaction execution; resist network attack"},
+  };
+}
+
+}  // namespace ethsm::rewards

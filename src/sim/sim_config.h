@@ -1,0 +1,46 @@
+// Simulation configuration (paper Sec. V: n = 1000 miners with equal hash
+// rate, pool controls alpha*n of them, 10 runs x 100,000 blocks).
+
+#ifndef ETHSM_SIM_SIM_CONFIG_H
+#define ETHSM_SIM_SIM_CONFIG_H
+
+#include <cstdint>
+
+#include "rewards/reward_schedule.h"
+
+namespace ethsm::sim {
+
+struct SimConfig {
+  /// Selfish pool's share of total hash power (paper: alpha <= 0.45).
+  double alpha = 0.3;
+  /// Fraction of honest hash power mining on the pool's branch during ties.
+  double gamma = 0.5;
+  /// Blocks mined per run (the paper uses 100,000).
+  std::uint64_t num_blocks = 100'000;
+  /// Master seed; derive per-run seeds with support::derive_seed.
+  std::uint64_t seed = 0x5e1f15ULL;
+  /// Reward schedules + reference horizon/caps.
+  rewards::RewardConfig rewards = rewards::RewardConfig::ethereum_byzantium();
+  /// When false the pool mines honestly too (control experiment: everyone
+  /// follows the protocol, revenue share must equal hash share).
+  bool pool_uses_selfish_strategy = true;
+
+  void validate() const;
+};
+
+/// Extra knobs for the population simulator.
+struct PopulationConfig {
+  SimConfig base;
+  /// Total miners; the pool controls round(alpha * num_miners) of them, and
+  /// alpha is snapped to that ratio (paper: 1000 miners, pool <= 450).
+  std::uint32_t num_miners = 1000;
+
+  void validate() const;
+  [[nodiscard]] std::uint32_t pool_size() const;
+  /// alpha after snapping to pool_size() / num_miners.
+  [[nodiscard]] double effective_alpha() const;
+};
+
+}  // namespace ethsm::sim
+
+#endif  // ETHSM_SIM_SIM_CONFIG_H

@@ -1,0 +1,144 @@
+#include "sim/simulator.h"
+
+#include "chain/block_tree.h"
+#include "miner/honest_policy.h"
+#include "miner/selfish_policy.h"
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace ethsm::sim {
+
+namespace {
+
+/// Control run: everybody (including the pool's hash power) follows the
+/// protocol. With zero propagation delay there are no forks at all, so every
+/// block is regular and revenue share == hash share.
+SimResult run_all_honest(const SimConfig& config) {
+  chain::BlockTree tree(config.num_blocks + 1);
+  miner::HonestPolicy honest(config.gamma, config.rewards);
+  support::Xoshiro256 rng(config.seed);
+
+  SimResult result;
+  chain::BlockId tip = tree.genesis();
+  double now = 0.0;
+  for (std::uint64_t n = 0; n < config.num_blocks; ++n) {
+    now += rng.exponential(1.0);
+    const bool pool_mined = rng.bernoulli(config.alpha);
+    // Both classes behave identically; only the block's ownership differs.
+    const chain::BlockId id = tree.append(
+        tip,
+        pool_mined ? chain::MinerClass::selfish : chain::MinerClass::honest,
+        0, now);
+    tree.publish(id, now);
+    tip = id;
+    if (pool_mined) {
+      ++result.blocks_mined_pool;
+    } else {
+      ++result.blocks_mined_honest;
+    }
+  }
+  result.duration = now;
+  result.ledger = chain::settle_rewards(tree, tip, config.rewards);
+  return result;
+}
+
+}  // namespace
+
+SimResult run_simulation(const SimConfig& config) {
+  config.validate();
+  if (!config.pool_uses_selfish_strategy) return run_all_honest(config);
+
+  chain::BlockTree tree(config.num_blocks + 1);
+  miner::SelfishPolicy pool(
+      tree, miner::SelfishPolicyConfig::from_rewards(config.rewards));
+  miner::HonestPolicy honest(config.gamma, config.rewards);
+  support::Xoshiro256 rng(config.seed);
+
+  SimResult result;
+  double now = 0.0;
+  for (std::uint64_t n = 0; n < config.num_blocks; ++n) {
+    now += rng.exponential(1.0);
+    if (rng.bernoulli(config.alpha)) {
+      pool.on_pool_block(now);
+      ++result.blocks_mined_pool;
+    } else {
+      const auto view = pool.public_view();
+      const chain::BlockId parent = honest.choose_parent(view, rng);
+      const chain::BlockId b = honest.mine_block(tree, parent, now, 0);
+      pool.on_honest_block(b, now);
+      ++result.blocks_mined_honest;
+    }
+  }
+  const chain::BlockId tip = pool.finalize(now);
+  result.duration = now;
+  result.ledger = chain::settle_rewards(tree, tip, config.rewards);
+
+  ETHSM_ENSURES(result.blocks_mined_pool + result.blocks_mined_honest ==
+                    config.num_blocks,
+                "block conservation violated");
+  return result;
+}
+
+MultiRunSummary run_many(const SimConfig& config, int runs) {
+  ETHSM_EXPECTS(runs > 0, "need at least one run");
+  MultiRunSummary summary;
+  for (int r = 0; r < runs; ++r) {
+    SimConfig run_config = config;
+    run_config.seed = support::derive_seed(config.seed,
+                                           static_cast<std::uint64_t>(r));
+    summary.absorb(run_simulation(run_config));
+  }
+  return summary;
+}
+
+SimResult run_stubborn_simulation(const SimConfig& config,
+                                  const miner::StubbornConfig& strategy) {
+  config.validate();
+  ETHSM_EXPECTS(config.pool_uses_selfish_strategy,
+                "stubborn variants require an attacking pool");
+
+  chain::BlockTree tree(config.num_blocks + 1);
+  miner::StubbornConfig pool_config = strategy;
+  pool_config.reference_horizon = config.rewards.reference_horizon();
+  pool_config.max_uncles_per_block = config.rewards.max_uncles_per_block;
+  pool_config.reference_uncles = pool_config.reference_horizon > 0;
+  miner::StubbornPolicy pool(tree, pool_config);
+  miner::HonestPolicy honest(config.gamma, config.rewards);
+  support::Xoshiro256 rng(config.seed);
+
+  SimResult result;
+  double now = 0.0;
+  for (std::uint64_t n = 0; n < config.num_blocks; ++n) {
+    now += rng.exponential(1.0);
+    if (rng.bernoulli(config.alpha)) {
+      pool.on_pool_block(now);
+      ++result.blocks_mined_pool;
+    } else {
+      const auto view = pool.public_view();
+      const chain::BlockId parent = honest.choose_parent(view, rng);
+      const chain::BlockId b = honest.mine_block(tree, parent, now, 0);
+      pool.on_honest_block(b, now);
+      ++result.blocks_mined_honest;
+    }
+  }
+  const chain::BlockId tip = pool.finalize(now);
+  result.duration = now;
+  result.ledger = chain::settle_rewards(tree, tip, config.rewards);
+  return result;
+}
+
+MultiRunSummary run_stubborn_many(const SimConfig& config,
+                                  const miner::StubbornConfig& strategy,
+                                  int runs) {
+  ETHSM_EXPECTS(runs > 0, "need at least one run");
+  MultiRunSummary summary;
+  for (int r = 0; r < runs; ++r) {
+    SimConfig run_config = config;
+    run_config.seed = support::derive_seed(config.seed,
+                                           static_cast<std::uint64_t>(r));
+    summary.absorb(run_stubborn_simulation(run_config, strategy));
+  }
+  return summary;
+}
+
+}  // namespace ethsm::sim

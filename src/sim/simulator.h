@@ -1,0 +1,42 @@
+// Discrete-event mining simulator (paper Sec. III-A, V).
+//
+// Mining is a Poisson race: with the time axis rescaled as in Sec. IV-B the
+// system produces blocks at rate 1, each block belonging to the pool with
+// probability alpha and to the honest side with probability beta = 1 - alpha.
+// The pool runs Algorithm 1 (SelfishPolicy); honest miners follow the
+// protocol (HonestPolicy) with gamma tie-breaking.
+//
+// This is the *aggregate* simulator: the honest side is a single entity whose
+// tie-break is sampled per block (exactly the Markov model's assumption). The
+// population simulator (population_sim.h) tracks 1000 individual miners as in
+// the paper's evaluation and is validated against this one.
+
+#ifndef ETHSM_SIM_SIMULATOR_H
+#define ETHSM_SIM_SIMULATOR_H
+
+#include "miner/stubborn_policy.h"
+#include "sim/sim_config.h"
+#include "sim/sim_result.h"
+
+namespace ethsm::sim {
+
+/// Runs one simulation; deterministic given config.seed.
+[[nodiscard]] SimResult run_simulation(const SimConfig& config);
+
+/// Runs `runs` independent simulations (seeds derived from config.seed) and
+/// aggregates. The paper uses runs = 10.
+[[nodiscard]] MultiRunSummary run_many(const SimConfig& config, int runs);
+
+/// As run_simulation, but the pool runs a stubborn-mining variant
+/// (miner/stubborn_policy.h) instead of Algorithm 1. With a default-initialized
+/// StubbornConfig the result is distributionally identical to run_simulation.
+[[nodiscard]] SimResult run_stubborn_simulation(
+    const SimConfig& config, const miner::StubbornConfig& strategy);
+
+/// Multi-run aggregation for stubborn variants.
+[[nodiscard]] MultiRunSummary run_stubborn_many(
+    const SimConfig& config, const miner::StubbornConfig& strategy, int runs);
+
+}  // namespace ethsm::sim
+
+#endif  // ETHSM_SIM_SIMULATOR_H

@@ -1,0 +1,64 @@
+// Contract-checking macros for ethsm.
+//
+// Following the C++ Core Guidelines (I.6 "Prefer Expects() for expressing
+// preconditions", E.12) we distinguish three kinds of failures:
+//
+//   ETHSM_EXPECTS(cond, msg)  -- precondition on a public API; throws
+//                                std::invalid_argument so callers can recover.
+//   ETHSM_ENSURES(cond, msg)  -- postcondition / internal invariant; throws
+//                                std::logic_error because a violation means the
+//                                library itself is broken.
+//   ETHSM_ASSERT(cond)        -- debug-only internal check (assert()).
+//
+// The throwing checks are always on: this library is a research instrument and
+// silent numeric corruption is far more expensive than a branch per call.
+
+#ifndef ETHSM_SUPPORT_CHECK_H
+#define ETHSM_SUPPORT_CHECK_H
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ethsm::support {
+
+[[noreturn]] inline void throw_precondition_failure(const char* cond,
+                                                    const char* file, int line,
+                                                    const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition violated: (" << cond << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_invariant_failure(const char* cond,
+                                                 const char* file, int line,
+                                                 const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: (" << cond << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace ethsm::support
+
+#define ETHSM_EXPECTS(cond, msg)                                             \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::ethsm::support::throw_precondition_failure(#cond, __FILE__,          \
+                                                   __LINE__, (msg));         \
+    }                                                                        \
+  } while (false)
+
+#define ETHSM_ENSURES(cond, msg)                                             \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::ethsm::support::throw_invariant_failure(#cond, __FILE__, __LINE__,   \
+                                                (msg));                      \
+    }                                                                        \
+  } while (false)
+
+#define ETHSM_ASSERT(cond) assert(cond)
+
+#endif  // ETHSM_SUPPORT_CHECK_H

@@ -1,0 +1,33 @@
+// Minimal CSV writer: the bench regenerators optionally dump their series as
+// CSV next to the human-readable tables so results can be re-plotted.
+
+#ifndef ETHSM_SUPPORT_CSV_H
+#define ETHSM_SUPPORT_CSV_H
+
+#include <string>
+#include <vector>
+
+namespace ethsm::support {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(const std::vector<double>& values);
+  void add_row(const std::vector<std::string>& cells);
+
+  [[nodiscard]] std::string str() const;
+  /// Writes to `path`; returns false (does not throw) on I/O failure so bench
+  /// binaries keep printing to stdout even on a read-only filesystem.
+  bool write_file(const std::string& path) const;
+
+ private:
+  static std::string escape(const std::string& cell);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ethsm::support
+
+#endif  // ETHSM_SUPPORT_CSV_H

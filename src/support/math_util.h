@@ -1,0 +1,46 @@
+// Small numerical helpers shared by the analysis modules: root bracketing and
+// bisection (threshold search), geometric-series helpers, and approximate
+// floating-point comparison used throughout the tests.
+
+#ifndef ETHSM_SUPPORT_MATH_UTIL_H
+#define ETHSM_SUPPORT_MATH_UTIL_H
+
+#include <functional>
+#include <optional>
+
+namespace ethsm::support {
+
+/// Options for bisection root finding.
+struct BisectOptions {
+  double tolerance = 1e-9;  ///< terminate when the bracket is narrower than this
+  int max_iterations = 200;
+};
+
+/// Finds x in [lo, hi] with f(x) == 0 given f(lo) and f(hi) of opposite sign.
+/// Returns std::nullopt when the bracket is invalid (no sign change).
+[[nodiscard]] std::optional<double> bisect(
+    const std::function<double(double)>& f, double lo, double hi,
+    const BisectOptions& options = {});
+
+/// Finds the smallest x in [lo, hi] where the monotone-crossing predicate
+/// becomes true (pred(lo) may already be true -> returns lo; pred(hi) false ->
+/// nullopt). Used for profitability-threshold searches where the objective
+/// Us(alpha) - alpha crosses zero once.
+[[nodiscard]] std::optional<double> first_true(
+    const std::function<bool(double)>& pred, double lo, double hi,
+    double tolerance = 1e-6);
+
+/// Relative/absolute closeness test: |a-b| <= atol + rtol*max(|a|,|b|).
+[[nodiscard]] bool close(double a, double b, double rtol = 1e-9,
+                         double atol = 1e-12) noexcept;
+
+/// Sum of the finite geometric series q^0 + q^1 + ... + q^{n-1}.
+[[nodiscard]] double geometric_sum(double q, int n) noexcept;
+
+/// Integer power with non-negative exponent (exact for small exponents, no
+/// pow() rounding surprises in hot loops).
+[[nodiscard]] double ipow(double base, int exponent) noexcept;
+
+}  // namespace ethsm::support
+
+#endif  // ETHSM_SUPPORT_MATH_UTIL_H

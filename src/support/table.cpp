@@ -1,0 +1,74 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace ethsm::support {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (!headers_.empty()) {
+    ETHSM_EXPECTS(cells.size() == headers_.size(),
+                  "row width must match header width");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string TextTable::pct(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value * 100.0 << '%';
+  return os.str();
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  auto widen = [&widths](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(headers_);
+  for (const auto& row : rows_) widen(row);
+
+  std::ostringstream os;
+  auto rule = [&os, &widths]() {
+    os << '+';
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto line = [&os, &widths](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      os << ' ' << cell << std::string(widths[i] - cell.size() + 1, ' ') << '|';
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << title_ << '\n';
+  rule();
+  if (!headers_.empty()) {
+    line(headers_);
+    rule();
+  }
+  for (const auto& row : rows_) line(row);
+  rule();
+  return os.str();
+}
+
+void TextTable::print(std::ostream& os) const { os << render(); }
+
+}  // namespace ethsm::support

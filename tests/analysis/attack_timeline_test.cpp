@@ -1,0 +1,106 @@
+#include "analysis/attack_timeline.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/retarget_sim.h"
+
+namespace ethsm::analysis {
+namespace {
+
+const auto kByz = rewards::RewardConfig::ethereum_byzantium();
+
+TEST(AttackTimeline, AttackBleedsInitiallyEvenAboveThreshold) {
+  // alpha = 0.3 is far above the scenario-1 threshold (0.054), yet phase 1
+  // still pays less than honest mining: withheld blocks cost now, the
+  // difficulty drop pays later.
+  const auto t = compute_attack_timeline({0.3, 0.5}, kByz,
+                                         Scenario::regular_rate_one);
+  EXPECT_GT(t.initial_bleed_rate(), 0.0);
+  EXPECT_GT(t.steady_gain_rate(), 0.0);
+  EXPECT_LT(t.phase1_reward_rate, 0.3);
+  EXPECT_GT(t.phase2_reward_rate, 0.3);
+}
+
+TEST(AttackTimeline, GammaOneNeverBleeds) {
+  // At gamma = 1 the pool keeps every block it mines (rsb = alpha) AND
+  // pockets nephew rewards for referencing honest uncles, so phase 1 is
+  // already profitable: the bleed rate is non-positive.
+  const auto t = compute_attack_timeline({0.3, 1.0}, kByz,
+                                         Scenario::regular_rate_one);
+  EXPECT_LE(t.initial_bleed_rate(), 0.0);
+  EXPECT_GE(t.phase1_reward_rate, 0.3);
+  const auto breakeven = t.breakeven_time(1000.0);
+  ASSERT_TRUE(breakeven.has_value());
+  EXPECT_NEAR(*breakeven, 0.0, 1e-9);
+}
+
+TEST(AttackTimeline, BelowThresholdNeverBreaksEven) {
+  // alpha = 0.10 under EIP100 (threshold 0.274): permanent loss.
+  const auto t = compute_attack_timeline(
+      {0.10, 0.5}, kByz, Scenario::regular_and_uncle_rate_one);
+  EXPECT_LT(t.steady_gain_rate(), 0.0);
+  EXPECT_FALSE(t.breakeven_time(100.0).has_value());
+}
+
+TEST(AttackTimeline, BreakevenScalesLinearlyWithPhase1) {
+  const auto t = compute_attack_timeline({0.3, 0.5}, kByz,
+                                         Scenario::regular_rate_one);
+  const auto b1 = t.breakeven_time(100.0);
+  const auto b2 = t.breakeven_time(200.0);
+  ASSERT_TRUE(b1 && b2);
+  EXPECT_NEAR(*b2, 2.0 * *b1, 1e-9);
+}
+
+TEST(AttackTimeline, Eip100MakesTheAttackSlowerToRepay) {
+  // Same attack, two difficulty regimes: EIP100's phase-2 gain is smaller,
+  // so breakeven takes longer (or never happens).
+  const auto s1 = compute_attack_timeline({0.35, 0.5}, kByz,
+                                          Scenario::regular_rate_one);
+  const auto s2 = compute_attack_timeline(
+      {0.35, 0.5}, kByz, Scenario::regular_and_uncle_rate_one);
+  const auto b1 = s1.breakeven_time(100.0);
+  const auto b2 = s2.breakeven_time(100.0);
+  ASSERT_TRUE(b1.has_value());
+  ASSERT_TRUE(b2.has_value());  // 0.35 is above both thresholds
+  EXPECT_GT(*b2, *b1);
+}
+
+TEST(AttackTimeline, RejectsNegativePhase1) {
+  const auto t = compute_attack_timeline({0.3, 0.5}, kByz,
+                                         Scenario::regular_rate_one);
+  EXPECT_THROW((void)t.breakeven_time(-1.0), std::invalid_argument);
+}
+
+TEST(AttackTimeline, Phase1RateMatchesRetargetSimulatorsFirstEpoch) {
+  // Cross-validation: the retarget simulator starts at the honest-calibrated
+  // difficulty, so its first epoch measures phase 1 directly.
+  const auto t = compute_attack_timeline({0.3, 0.5}, kByz,
+                                         Scenario::regular_rate_one);
+  sim::RetargetConfig config;
+  config.base.alpha = 0.3;
+  config.base.gamma = 0.5;
+  config.base.seed = 4242;
+  config.controller.scenario = sim::Scenario::regular_rate_one;
+  config.epoch_blocks = 2000;  // long first epoch for a tight estimate
+  config.epochs = 2;
+  const auto result = sim::run_retarget_simulation(config);
+  EXPECT_NEAR(result.epochs.front().pool_reward_rate, t.phase1_reward_rate,
+              0.02);
+}
+
+TEST(AttackTimeline, Phase2RateMatchesRetargetSimulatorsSteadyState) {
+  const auto t = compute_attack_timeline({0.3, 0.5}, kByz,
+                                         Scenario::regular_rate_one);
+  sim::RetargetConfig config;
+  config.base.alpha = 0.3;
+  config.base.gamma = 0.5;
+  config.base.seed = 4243;
+  config.controller.scenario = sim::Scenario::regular_rate_one;
+  config.epoch_blocks = 500;
+  config.epochs = 50;
+  const auto result = sim::run_retarget_simulation(config);
+  EXPECT_NEAR(result.steady_pool_reward_rate, t.phase2_reward_rate, 0.015);
+}
+
+}  // namespace
+}  // namespace ethsm::analysis

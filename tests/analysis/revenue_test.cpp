@@ -1,0 +1,171 @@
+#include "analysis/revenue.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/absolute_revenue.h"
+
+namespace ethsm::analysis {
+namespace {
+
+class RevenueParamTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {
+ protected:
+  [[nodiscard]] RevenueBreakdown byzantium() const {
+    const auto [alpha, gamma] = GetParam();
+    return compute_revenue(markov::MiningParams{alpha, gamma},
+                           rewards::RewardConfig::ethereum_byzantium(), 80);
+  }
+};
+
+TEST_P(RevenueParamTest, PoolStaticMatchesEquation3) {
+  const auto [alpha, gamma] = GetParam();
+  const auto r = byzantium();
+  EXPECT_NEAR(r.pool_static, pool_static_rate_closed_form(alpha, gamma), 2e-6);
+}
+
+TEST_P(RevenueParamTest, HonestStaticMatchesEquation4) {
+  const auto [alpha, gamma] = GetParam();
+  const auto r = byzantium();
+  EXPECT_NEAR(r.honest_static, honest_static_rate_closed_form(alpha, gamma),
+              2e-6);
+}
+
+TEST_P(RevenueParamTest, PoolUncleMatchesEquation5) {
+  const auto [alpha, gamma] = GetParam();
+  const auto r = byzantium();
+  EXPECT_NEAR(r.pool_uncle,
+              pool_uncle_rate_closed_form(alpha, gamma, 7.0 / 8.0), 2e-6);
+}
+
+TEST_P(RevenueParamTest, RegularRateEqualsStaticRewardRate) {
+  // Ks = 1: the static reward rate IS the regular block rate.
+  const auto r = byzantium();
+  EXPECT_NEAR(r.regular_rate, r.pool_static + r.honest_static, 1e-12);
+}
+
+TEST_P(RevenueParamTest, RegularRateAtMostOne) {
+  const auto r = byzantium();
+  EXPECT_LE(r.regular_rate, 1.0 + 1e-12);
+  EXPECT_GT(r.regular_rate, 0.0);
+}
+
+TEST_P(RevenueParamTest, BlockConservation) {
+  // Every mined block is regular, a referenced uncle, or plain stale; the
+  // three rates sum to the block production rate 1.
+  const auto [alpha, gamma] = GetParam();
+  const markov::StateSpace space(80);
+  const markov::TransitionModel model(space, {alpha, gamma});
+  const auto pi = markov::solve_stationary(model);
+  const auto config = rewards::RewardConfig::ethereum_byzantium();
+  double regular = 0.0, uncle = 0.0, rate_total = 0.0;
+  for (const auto& t : model.transitions()) {
+    const auto f = expected_rewards(space.state_at(t.from), t.kind,
+                                    model.params(), config);
+    regular += pi[t.from] * t.rate * f.regular_probability;
+    uncle += pi[t.from] * t.rate * f.referenced_uncle_probability;
+    rate_total += pi[t.from] * t.rate;
+  }
+  EXPECT_NEAR(rate_total, 1.0, 1e-10);
+  EXPECT_LE(regular + uncle, 1.0 + 1e-10);
+}
+
+TEST_P(RevenueParamTest, UncleRewardRateConsistentWithUncleRate) {
+  // Total uncle+nephew payout can't exceed what max-schedule uncles allow.
+  const auto r = byzantium();
+  const double uncle_payout = r.pool_uncle + r.honest_uncle;
+  EXPECT_LE(uncle_payout, r.referenced_uncle_rate * (7.0 / 8.0) + 1e-12);
+  const double nephew_payout = r.pool_nephew + r.honest_nephew;
+  EXPECT_NEAR(nephew_payout, r.referenced_uncle_rate / 32.0, 1e-10);
+}
+
+TEST_P(RevenueParamTest, ScenarioTwoRevenueIsLower) {
+  const auto r = byzantium();
+  if (r.referenced_uncle_rate > 1e-12) {
+    EXPECT_LT(pool_absolute_revenue(r, Scenario::regular_and_uncle_rate_one),
+              pool_absolute_revenue(r, Scenario::regular_rate_one));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlphaGammaGrid, RevenueParamTest,
+    ::testing::Combine(::testing::Values(0.05, 0.15, 0.25, 0.35, 0.45),
+                       ::testing::Values(0.3, 0.5, 0.8, 1.0)),
+    [](const auto& info) {
+      return "a" +
+             std::to_string(static_cast<int>(std::get<0>(info.param) * 100)) +
+             "_g" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+    });
+
+TEST(Revenue, AlphaZeroGivesEverythingToHonest) {
+  const auto r = compute_revenue(markov::MiningParams{0.0, 0.5},
+                                 rewards::RewardConfig::ethereum_byzantium());
+  EXPECT_NEAR(r.honest_static, 1.0, 1e-10);
+  EXPECT_NEAR(r.pool_total(), 0.0, 1e-12);
+  EXPECT_NEAR(r.referenced_uncle_rate, 0.0, 1e-12);
+}
+
+TEST(Revenue, GammaOneEliminatesPoolUncles) {
+  // Remark on rsu: at gamma = 1 the pool's withheld block always wins the
+  // match race, so the pool never produces uncles.
+  const auto r = compute_revenue(markov::MiningParams{0.3, 1.0},
+                                 rewards::RewardConfig::ethereum_byzantium());
+  EXPECT_NEAR(r.pool_uncle, 0.0, 1e-12);
+  EXPECT_NEAR(r.pool_static, 0.3, 1e-9);  // rsb = alpha at gamma = 1
+}
+
+TEST(Revenue, RemarkFiveUncleCostReducedVsBitcoin) {
+  // Remark 5: uncle rewards reduce the cost of selfish mining. The pool's
+  // total under Byzantium strictly exceeds its total under Bitcoin rules for
+  // the same (alpha, gamma) with gamma < 1.
+  const markov::MiningParams p{0.25, 0.5};
+  const auto eth =
+      compute_revenue(p, rewards::RewardConfig::ethereum_byzantium());
+  const auto btc = compute_revenue(p, rewards::RewardConfig::bitcoin());
+  EXPECT_GT(eth.pool_total(), btc.pool_total());
+  EXPECT_DOUBLE_EQ(btc.pool_uncle, 0.0);
+}
+
+TEST(Revenue, FlatSchedulesOrderedByValue) {
+  const markov::MiningParams p{0.3, 0.5};
+  double previous = -1.0;
+  for (double ku : {2.0 / 8, 4.0 / 8, 7.0 / 8}) {
+    const auto r = compute_revenue(p, rewards::RewardConfig::ethereum_flat(ku));
+    EXPECT_GT(r.pool_total(), previous);
+    previous = r.pool_total();
+  }
+}
+
+TEST(Revenue, ComputeRevenueFromPrebuiltChainMatchesConvenience) {
+  const markov::MiningParams p{0.3, 0.5};
+  const markov::StateSpace space(80);
+  const markov::TransitionModel model(space, p);
+  const auto pi = markov::solve_stationary(model);
+  const auto cfg = rewards::RewardConfig::ethereum_byzantium();
+  const auto a = compute_revenue(pi, model, cfg);
+  const auto b = compute_revenue(p, cfg, 80);
+  EXPECT_DOUBLE_EQ(a.pool_static, b.pool_static);
+  EXPECT_DOUBLE_EQ(a.honest_nephew, b.honest_nephew);
+}
+
+TEST(Revenue, RecommendedMaxLeadExpandsInTheCorner) {
+  EXPECT_EQ(recommended_max_lead({0.3, 0.5}), 80);
+  EXPECT_EQ(recommended_max_lead({0.45, 0.5}), 80);
+  EXPECT_GT(recommended_max_lead({0.45, 0.0}), 200);
+  EXPECT_LE(recommended_max_lead({0.45, 0.0}), 600);
+  EXPECT_EQ(recommended_max_lead({0.0, 0.0}), 8);
+}
+
+TEST(AbsoluteRevenue, HonestBaselineEarnsAlpha) {
+  // A protocol-following pool earns its hash share: with alpha mass of the
+  // rewards and no selfish mining the normalized revenue is alpha. Checked
+  // through the analysis at gamma = 1 where rsb = alpha and no uncles arise
+  // from the pool side... (full honest baseline is a simulator test).
+  const auto r = compute_revenue(markov::MiningParams{0.3, 1.0},
+                                 rewards::RewardConfig::ethereum_byzantium());
+  EXPECT_NEAR(pool_absolute_revenue(r, Scenario::regular_rate_one),
+              r.pool_total() / r.regular_rate, 1e-15);
+}
+
+}  // namespace
+}  // namespace ethsm::analysis

@@ -1,0 +1,65 @@
+#include "analysis/uncle_distance.h"
+
+#include <gtest/gtest.h>
+
+namespace ethsm::analysis {
+namespace {
+
+TEST(UncleDistance, PaperTableIIAtAlphaPointThree) {
+  const auto d = honest_uncle_distance_distribution({0.3, 0.5}, 80);
+  const double expected[] = {0.527, 0.295, 0.111, 0.043, 0.017, 0.007};
+  for (int i = 1; i <= 6; ++i) {
+    EXPECT_NEAR(d.fraction[i], expected[i - 1], 0.001) << "distance " << i;
+  }
+  EXPECT_NEAR(d.expectation, 1.75, 0.01);
+}
+
+TEST(UncleDistance, PaperTableIIAtAlphaPointFourFive) {
+  const auto d = honest_uncle_distance_distribution({0.45, 0.5}, 80);
+  const double expected[] = {0.284, 0.249, 0.171, 0.125, 0.096, 0.075};
+  for (int i = 1; i <= 6; ++i) {
+    EXPECT_NEAR(d.fraction[i], expected[i - 1], 0.001) << "distance " << i;
+  }
+  EXPECT_NEAR(d.expectation, 2.72, 0.01);
+}
+
+TEST(UncleDistance, FractionsSumToOne) {
+  for (double alpha : {0.1, 0.3, 0.45}) {
+    const auto d = honest_uncle_distance_distribution({alpha, 0.5}, 80);
+    double sum = 0.0;
+    for (int i = 1; i <= 6; ++i) sum += d.fraction[i];
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "alpha=" << alpha;
+  }
+}
+
+TEST(UncleDistance, ExpectationGrowsWithAlpha) {
+  // Sec. VI: with more selfish hash power, honest uncles sit further away.
+  double previous = 0.0;
+  for (double alpha : {0.1, 0.2, 0.3, 0.4, 0.45}) {
+    const auto d = honest_uncle_distance_distribution({alpha, 0.5}, 80);
+    EXPECT_GT(d.expectation, previous) << "alpha=" << alpha;
+    previous = d.expectation;
+  }
+}
+
+TEST(UncleDistance, SmallAlphaConcentratesAtDistanceOne) {
+  const auto d = honest_uncle_distance_distribution({0.05, 0.5}, 40);
+  EXPECT_GT(d.fraction[1], 0.9);
+}
+
+TEST(UncleDistance, BeyondHorizonRateAppearsAtHighAlpha) {
+  const auto low = honest_uncle_distance_distribution({0.1, 0.5}, 80);
+  const auto high = honest_uncle_distance_distribution({0.45, 0.5}, 80);
+  EXPECT_GT(high.beyond_horizon_rate, low.beyond_horizon_rate);
+  EXPECT_GT(high.in_horizon_rate, 0.0);
+}
+
+TEST(UncleDistance, GammaZeroStillWellFormed) {
+  const auto d = honest_uncle_distance_distribution({0.2, 0.0}, 80);
+  double sum = 0.0;
+  for (int i = 1; i <= 6; ++i) sum += d.fraction[i];
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace ethsm::analysis

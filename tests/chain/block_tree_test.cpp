@@ -1,0 +1,121 @@
+#include "chain/block_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ethsm::chain {
+namespace {
+
+TEST(BlockTree, StartsWithPublishedGenesis) {
+  BlockTree t;
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.genesis(), 0u);
+  EXPECT_EQ(t.height(t.genesis()), 0u);
+  EXPECT_TRUE(t.is_published(t.genesis()));
+  EXPECT_EQ(t.parent(t.genesis()), kNoBlock);
+}
+
+TEST(BlockTree, AppendSetsHeightAndLinks) {
+  BlockTree t;
+  const BlockId a = t.append(t.genesis(), MinerClass::honest, 3, 1.0);
+  const BlockId b = t.append(a, MinerClass::selfish, 7, 2.0);
+  EXPECT_EQ(t.height(a), 1u);
+  EXPECT_EQ(t.height(b), 2u);
+  EXPECT_EQ(t.parent(b), a);
+  EXPECT_EQ(t.block(b).miner, MinerClass::selfish);
+  EXPECT_EQ(t.block(b).miner_id, 7u);
+  EXPECT_DOUBLE_EQ(t.block(b).mined_at, 2.0);
+  ASSERT_EQ(t.children(a).size(), 1u);
+  EXPECT_EQ(t.children(a)[0], b);
+}
+
+TEST(BlockTree, AppendedBlocksStartUnpublished) {
+  BlockTree t;
+  const BlockId a = t.append(t.genesis(), MinerClass::selfish, 0, 1.0);
+  EXPECT_FALSE(t.is_published(a));
+  t.publish(a, 5.0);
+  EXPECT_TRUE(t.is_published(a));
+  EXPECT_DOUBLE_EQ(t.block(a).published_at, 5.0);
+}
+
+TEST(BlockTree, PublishTwiceIsAnError) {
+  BlockTree t;
+  const BlockId a = t.append(t.genesis(), MinerClass::honest, 0, 1.0);
+  t.publish(a, 1.0);
+  EXPECT_THROW(t.publish(a, 2.0), std::invalid_argument);
+}
+
+TEST(BlockTree, PublishBeforeMinedIsAnError) {
+  BlockTree t;
+  const BlockId a = t.append(t.genesis(), MinerClass::honest, 0, 3.0);
+  EXPECT_THROW(t.publish(a, 2.0), std::invalid_argument);
+}
+
+TEST(BlockTree, RejectsUnknownIds) {
+  BlockTree t;
+  EXPECT_THROW(t.height(42), std::invalid_argument);
+  EXPECT_THROW((void)t.append(42, MinerClass::honest, 0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(BlockTree, MinedCountsByClass) {
+  BlockTree t;
+  const BlockId a = t.append(t.genesis(), MinerClass::honest, 0, 1.0);
+  t.append(a, MinerClass::selfish, 0, 2.0);
+  t.append(a, MinerClass::selfish, 0, 2.5);
+  EXPECT_EQ(t.mined_count(MinerClass::honest), 1u);
+  EXPECT_EQ(t.mined_count(MinerClass::selfish), 2u);
+}
+
+class ForkedTree : public ::testing::Test {
+ protected:
+  // genesis - a - b - c
+  //             \ x - y      (fork at a)
+  void SetUp() override {
+    a = t.append(t.genesis(), MinerClass::honest, 0, 1.0);
+    b = t.append(a, MinerClass::honest, 0, 2.0);
+    c = t.append(b, MinerClass::honest, 0, 3.0);
+    x = t.append(a, MinerClass::selfish, 0, 2.1);
+    y = t.append(x, MinerClass::selfish, 0, 3.1);
+  }
+  BlockTree t;
+  BlockId a{}, b{}, c{}, x{}, y{};
+};
+
+TEST_F(ForkedTree, IsAncestorOf) {
+  EXPECT_TRUE(t.is_ancestor_of(t.genesis(), c));
+  EXPECT_TRUE(t.is_ancestor_of(a, c));
+  EXPECT_TRUE(t.is_ancestor_of(a, y));
+  EXPECT_TRUE(t.is_ancestor_of(b, c));
+  EXPECT_FALSE(t.is_ancestor_of(b, y));
+  EXPECT_FALSE(t.is_ancestor_of(x, c));
+  EXPECT_FALSE(t.is_ancestor_of(c, a));  // direction matters
+  EXPECT_TRUE(t.is_ancestor_of(c, c));   // reflexive
+}
+
+TEST_F(ForkedTree, AncestorAtHeight) {
+  EXPECT_EQ(t.ancestor_at_height(c, 0), t.genesis());
+  EXPECT_EQ(t.ancestor_at_height(c, 1), a);
+  EXPECT_EQ(t.ancestor_at_height(c, 2), b);
+  EXPECT_EQ(t.ancestor_at_height(y, 2), x);
+  EXPECT_THROW(t.ancestor_at_height(a, 5), std::invalid_argument);
+}
+
+TEST_F(ForkedTree, ChainFromGenesis) {
+  const auto chain = t.chain_from_genesis(c);
+  ASSERT_EQ(chain.size(), 4u);
+  EXPECT_EQ(chain[0], t.genesis());
+  EXPECT_EQ(chain[1], a);
+  EXPECT_EQ(chain[2], b);
+  EXPECT_EQ(chain[3], c);
+}
+
+TEST_F(ForkedTree, ChildrenListsForks) {
+  ASSERT_EQ(t.children(a).size(), 2u);
+  EXPECT_EQ(t.children(a)[0], b);
+  EXPECT_EQ(t.children(a)[1], x);
+}
+
+}  // namespace
+}  // namespace ethsm::chain

@@ -1,0 +1,139 @@
+#include "chain/reward_ledger.h"
+
+#include <gtest/gtest.h>
+
+namespace ethsm::chain {
+namespace {
+
+class LedgerFixture : public ::testing::Test {
+ protected:
+  BlockId add(BlockId parent, MinerClass who, double when,
+              std::vector<BlockId> refs = {}, std::uint32_t miner_id = 0) {
+    const BlockId id = t.append(parent, who, miner_id, when, std::move(refs));
+    t.publish(id, when);
+    return id;
+  }
+  BlockTree t;
+  rewards::RewardConfig byz = rewards::RewardConfig::ethereum_byzantium();
+};
+
+TEST_F(LedgerFixture, PlainChainPaysStaticOnly) {
+  BlockId tip = t.genesis();
+  for (int i = 0; i < 5; ++i) tip = add(tip, MinerClass::honest, 1.0 + i);
+  const auto res = settle_rewards(t, tip, byz);
+  EXPECT_DOUBLE_EQ(res.of(MinerClass::honest).static_reward, 5.0);
+  EXPECT_DOUBLE_EQ(res.of(MinerClass::honest).uncle_reward, 0.0);
+  EXPECT_DOUBLE_EQ(res.of(MinerClass::honest).nephew_reward, 0.0);
+  EXPECT_EQ(res.fate_of(MinerClass::honest).regular, 5u);
+  EXPECT_EQ(res.regular_total(), 5u);
+}
+
+TEST_F(LedgerFixture, GenesisEarnsNothing) {
+  const auto res = settle_rewards(t, t.genesis(), byz);
+  EXPECT_DOUBLE_EQ(res.of(MinerClass::honest).total(), 0.0);
+  EXPECT_EQ(res.regular_total(), 0u);
+}
+
+TEST_F(LedgerFixture, UncleAndNephewPayouts) {
+  // genesis -> a (honest, main), u (selfish, stale child of genesis),
+  // b (honest, main, references u at distance 2).
+  const BlockId a = add(t.genesis(), MinerClass::honest, 1.0);
+  const BlockId u = add(t.genesis(), MinerClass::selfish, 1.1);
+  const BlockId b = add(a, MinerClass::honest, 2.0, {u});
+  const auto res = settle_rewards(t, b, byz);
+
+  EXPECT_DOUBLE_EQ(res.of(MinerClass::honest).static_reward, 2.0);
+  // u at height 1, b at height 2 => distance 1 => Ku = 7/8 to the pool.
+  EXPECT_DOUBLE_EQ(res.of(MinerClass::selfish).uncle_reward, 7.0 / 8.0);
+  EXPECT_DOUBLE_EQ(res.of(MinerClass::honest).nephew_reward, 1.0 / 32.0);
+  EXPECT_EQ(res.fate_of(MinerClass::selfish).referenced_uncle, 1u);
+  EXPECT_EQ(res.referenced_uncle_total(), 1u);
+  // Distance histogram (pool's uncle at distance 1).
+  EXPECT_EQ(res.uncle_distance[static_cast<std::size_t>(MinerClass::selfish)]
+                .at(1),
+            1u);
+}
+
+TEST_F(LedgerFixture, DistanceTwoUsesScheduleValue) {
+  const BlockId a = add(t.genesis(), MinerClass::honest, 1.0);
+  const BlockId u = add(t.genesis(), MinerClass::honest, 1.1);
+  const BlockId b = add(a, MinerClass::honest, 2.0);
+  const BlockId c = add(b, MinerClass::selfish, 3.0, {u});
+  const auto res = settle_rewards(t, c, byz);
+  // u at height 1, c at height 3 => distance 2 => Ku = 6/8 (honest's uncle),
+  // nephew 1/32 to the pool.
+  EXPECT_DOUBLE_EQ(res.of(MinerClass::honest).uncle_reward, 6.0 / 8.0);
+  EXPECT_DOUBLE_EQ(res.of(MinerClass::selfish).nephew_reward, 1.0 / 32.0);
+}
+
+TEST_F(LedgerFixture, UnreferencedStaleEarnsNothing) {
+  const BlockId a = add(t.genesis(), MinerClass::honest, 1.0);
+  add(t.genesis(), MinerClass::selfish, 1.1);  // stale, never referenced
+  const BlockId b = add(a, MinerClass::honest, 2.0);
+  const auto res = settle_rewards(t, b, byz);
+  EXPECT_DOUBLE_EQ(res.of(MinerClass::selfish).total(), 0.0);
+  EXPECT_EQ(res.fate_of(MinerClass::selfish).stale, 1u);
+  EXPECT_EQ(res.fate_of(MinerClass::selfish).referenced_uncle, 0u);
+}
+
+TEST_F(LedgerFixture, EveryBlockClassifiedExactlyOnce) {
+  const BlockId a = add(t.genesis(), MinerClass::honest, 1.0);
+  const BlockId u = add(t.genesis(), MinerClass::selfish, 1.1);
+  const BlockId v = add(u, MinerClass::selfish, 1.2);  // stale child of stale
+  const BlockId b = add(a, MinerClass::honest, 2.0, {u});
+  const auto res = settle_rewards(t, b, byz);
+  const std::uint64_t classified = res.fate_of(MinerClass::honest).total() +
+                                   res.fate_of(MinerClass::selfish).total();
+  EXPECT_EQ(classified, t.size() - 1);  // everything except genesis
+  (void)v;
+}
+
+TEST_F(LedgerFixture, ClassifyBlocksMatchesFates) {
+  const BlockId a = add(t.genesis(), MinerClass::honest, 1.0);
+  const BlockId u = add(t.genesis(), MinerClass::selfish, 1.1);
+  const BlockId b = add(a, MinerClass::honest, 2.0, {u});
+  const auto fates = classify_blocks(t, b);
+  EXPECT_EQ(fates[t.genesis()], BlockFate::regular);
+  EXPECT_EQ(fates[a], BlockFate::regular);
+  EXPECT_EQ(fates[b], BlockFate::regular);
+  EXPECT_EQ(fates[u], BlockFate::referenced_uncle);
+}
+
+TEST_F(LedgerFixture, PerMinerAccounting) {
+  const BlockId a = add(t.genesis(), MinerClass::honest, 1.0, {}, 3);
+  const BlockId u = add(t.genesis(), MinerClass::honest, 1.1, {}, 4);
+  const BlockId b = add(a, MinerClass::honest, 2.0, {u}, 5);
+  const auto res = settle_rewards(t, b, byz, 10);
+  ASSERT_EQ(res.per_miner_reward.size(), 10u);
+  EXPECT_DOUBLE_EQ(res.per_miner_reward[3], 1.0);             // static only
+  EXPECT_DOUBLE_EQ(res.per_miner_reward[4], 7.0 / 8.0);       // uncle
+  EXPECT_DOUBLE_EQ(res.per_miner_reward[5], 1.0 + 1.0 / 32.0);  // static+nephew
+}
+
+TEST_F(LedgerFixture, BitcoinConfigPaysNoUncleRewards) {
+  const auto btc = rewards::RewardConfig::bitcoin();
+  const BlockId a = add(t.genesis(), MinerClass::honest, 1.0);
+  const BlockId b = add(a, MinerClass::honest, 2.0);
+  const auto res = settle_rewards(t, b, btc);
+  EXPECT_DOUBLE_EQ(res.of(MinerClass::honest).total(), 2.0);
+}
+
+TEST_F(LedgerFixture, HonestUncleDistanceHistogram) {
+  // Two honest uncles: u1 referenced at distance 1, u2 at distance 2.
+  const BlockId a = add(t.genesis(), MinerClass::honest, 1.0);
+  const BlockId u1 = add(t.genesis(), MinerClass::honest, 1.1);  // height 1
+  const BlockId b = add(a, MinerClass::honest, 2.0, {u1});  // h2: d(u1) = 1
+  const BlockId u2 = add(b, MinerClass::honest, 2.1);       // height 3
+  const BlockId c = add(b, MinerClass::honest, 3.0);        // height 3
+  const BlockId d = add(c, MinerClass::honest, 4.0);        // height 4
+  const BlockId e = add(d, MinerClass::honest, 5.0, {u2});  // h5: d(u2) = 2
+  const auto res = settle_rewards(t, e, byz);
+  const auto& h =
+      res.uncle_distance[static_cast<std::size_t>(MinerClass::honest)];
+  EXPECT_EQ(h.at(1), 1u);
+  EXPECT_EQ(h.at(2), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+}  // namespace
+}  // namespace ethsm::chain

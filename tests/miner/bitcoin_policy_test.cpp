@@ -1,0 +1,91 @@
+#include "miner/bitcoin_selfish_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "miner/honest_policy.h"
+#include "support/rng.h"
+
+namespace ethsm::miner {
+namespace {
+
+using chain::BlockId;
+using chain::MinerClass;
+
+TEST(BitcoinSelfishPolicy, NeverReferencesUncles) {
+  chain::BlockTree tree;
+  BitcoinSelfishPolicy pool(tree);
+  const auto rc = rewards::RewardConfig::bitcoin();
+  HonestPolicy honest(0.5, rc);
+  support::Xoshiro256 rng(5);
+  double now = 1.0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.bernoulli(0.35)) {
+      pool.on_pool_block(now);
+    } else {
+      const BlockId b =
+          honest.mine_block(tree, honest.choose_parent(pool.public_view(), rng),
+                            now, 0);
+      pool.on_honest_block(b, now);
+    }
+    now += 1.0;
+  }
+  pool.finalize(now);
+  for (BlockId id = 0; id < tree.size(); ++id) {
+    ASSERT_TRUE(tree.block(id).uncle_refs.empty());
+  }
+}
+
+TEST(BitcoinSelfishPolicy, ChainDynamicsIdenticalToEthereumPolicy) {
+  // The Eyal–Sirer strategy and Algorithm 1 share the publish/withhold state
+  // machine; only reward plumbing differs. Feed both policies the identical
+  // miner/tie-break schedule and require identical (Ls, Lh) trajectories and
+  // identical parent structure.
+  chain::BlockTree eth_tree, btc_tree;
+  SelfishPolicy eth(eth_tree, SelfishPolicyConfig::from_rewards(
+                                  rewards::RewardConfig::ethereum_byzantium()));
+  BitcoinSelfishPolicy btc(btc_tree);
+  const auto eth_rc = rewards::RewardConfig::ethereum_byzantium();
+  const auto btc_rc = rewards::RewardConfig::bitcoin();
+  HonestPolicy eth_honest(0.5, eth_rc);
+  HonestPolicy btc_honest(0.5, btc_rc);
+
+  support::Xoshiro256 schedule(77);
+  double now = 1.0;
+  for (int i = 0; i < 20000; ++i) {
+    const bool pool_mines = schedule.bernoulli(0.3);
+    const bool prefer_pool = schedule.bernoulli(0.5);  // shared tie-break
+    if (pool_mines) {
+      eth.on_pool_block(now);
+      btc.on_pool_block(now);
+    } else {
+      const BlockId be = eth_honest.mine_block(
+          eth_tree, HonestPolicy::parent_for_preference(eth.public_view(),
+                                                        prefer_pool),
+          now, 0);
+      eth.on_honest_block(be, now);
+      const BlockId bb = btc_honest.mine_block(
+          btc_tree, HonestPolicy::parent_for_preference(btc.public_view(),
+                                                        prefer_pool),
+          now, 0);
+      btc.on_honest_block(bb, now);
+    }
+    ASSERT_EQ(eth.private_length(), btc.private_length()) << "step " << i;
+    ASSERT_EQ(eth.public_length(), btc.public_length()) << "step " << i;
+    now += 1.0;
+  }
+  // Identical structure: same number of blocks and identical parent ids
+  // (block ids align because creation order is identical).
+  ASSERT_EQ(eth_tree.size(), btc_tree.size());
+  for (BlockId id = 0; id < eth_tree.size(); ++id) {
+    ASSERT_EQ(eth_tree.block(id).parent, btc_tree.block(id).parent);
+    ASSERT_EQ(eth_tree.block(id).miner, btc_tree.block(id).miner);
+  }
+  const auto& ae = eth.actions();
+  const auto& ab = btc.actions();
+  EXPECT_EQ(ae.adopt, ab.adopt);
+  EXPECT_EQ(ae.override_publish, ab.override_publish);
+  EXPECT_EQ(ae.reroot, ab.reroot);
+}
+
+}  // namespace
+}  // namespace ethsm::miner

@@ -1,0 +1,106 @@
+#include "miner/honest_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ethsm::miner {
+namespace {
+
+using chain::BlockId;
+using chain::MinerClass;
+
+TEST(HonestPolicy, RejectsGammaOutsideUnitInterval) {
+  const auto rc = rewards::RewardConfig::ethereum_byzantium();
+  EXPECT_THROW(HonestPolicy(-0.1, rc), std::invalid_argument);
+  EXPECT_THROW(HonestPolicy(1.1, rc), std::invalid_argument);
+}
+
+TEST(HonestPolicy, ChoosesConsensusTipWithoutTie) {
+  const auto rc = rewards::RewardConfig::ethereum_byzantium();
+  HonestPolicy policy(0.5, rc);
+  support::Xoshiro256 rng(1);
+  PublicView view;
+  view.tie = false;
+  view.consensus_tip = 42;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(policy.choose_parent(view, rng), 42u);
+  }
+}
+
+TEST(HonestPolicy, TieBreakMatchesGamma) {
+  const auto rc = rewards::RewardConfig::ethereum_byzantium();
+  PublicView view;
+  view.tie = true;
+  view.pool_branch_tip = 1;
+  view.honest_branch_tip = 2;
+  for (double gamma : {0.0, 0.3, 0.7, 1.0}) {
+    HonestPolicy policy(gamma, rc);
+    support::Xoshiro256 rng(2019);
+    int pool_choices = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+      pool_choices += policy.choose_parent(view, rng) == 1 ? 1 : 0;
+    }
+    EXPECT_NEAR(static_cast<double>(pool_choices) / n, gamma, 0.01)
+        << "gamma=" << gamma;
+  }
+}
+
+TEST(HonestPolicy, ParentForPreferenceIsDeterministic) {
+  PublicView view;
+  view.tie = true;
+  view.pool_branch_tip = 7;
+  view.honest_branch_tip = 9;
+  EXPECT_EQ(HonestPolicy::parent_for_preference(view, true), 7u);
+  EXPECT_EQ(HonestPolicy::parent_for_preference(view, false), 9u);
+  view.tie = false;
+  view.consensus_tip = 5;
+  EXPECT_EQ(HonestPolicy::parent_for_preference(view, true), 5u);
+}
+
+TEST(HonestPolicy, MineBlockPublishesImmediately) {
+  const auto rc = rewards::RewardConfig::ethereum_byzantium();
+  chain::BlockTree tree;
+  HonestPolicy policy(0.5, rc);
+  const BlockId b = policy.mine_block(tree, tree.genesis(), 3.0, 11);
+  EXPECT_TRUE(tree.is_published(b));
+  EXPECT_EQ(tree.block(b).miner, MinerClass::honest);
+  EXPECT_EQ(tree.block(b).miner_id, 11u);
+}
+
+TEST(HonestPolicy, MineBlockReferencesEligibleUncles) {
+  const auto rc = rewards::RewardConfig::ethereum_byzantium();
+  chain::BlockTree tree;
+  HonestPolicy policy(0.5, rc);
+  const BlockId main1 = policy.mine_block(tree, tree.genesis(), 1.0, 0);
+  const BlockId stale = policy.mine_block(tree, tree.genesis(), 1.1, 0);
+  const BlockId main2 = policy.mine_block(tree, main1, 2.0, 0);
+  ASSERT_EQ(tree.block(main2).uncle_refs.size(), 1u);
+  EXPECT_EQ(tree.block(main2).uncle_refs[0], stale);
+}
+
+TEST(HonestPolicy, BitcoinConfigNeverReferences) {
+  const auto rc = rewards::RewardConfig::bitcoin();
+  chain::BlockTree tree;
+  HonestPolicy policy(0.5, rc);
+  const BlockId main1 = policy.mine_block(tree, tree.genesis(), 1.0, 0);
+  policy.mine_block(tree, tree.genesis(), 1.1, 0);  // stale sibling
+  const BlockId main2 = policy.mine_block(tree, main1, 2.0, 0);
+  EXPECT_TRUE(tree.block(main2).uncle_refs.empty());
+}
+
+TEST(HonestPolicy, RespectsUncleCap) {
+  auto rc = rewards::RewardConfig::ethereum_byzantium();
+  rc.max_uncles_per_block = 1;
+  chain::BlockTree tree;
+  HonestPolicy policy(0.5, rc);
+  const BlockId main1 = policy.mine_block(tree, tree.genesis(), 1.0, 0);
+  policy.mine_block(tree, tree.genesis(), 1.1, 0);
+  policy.mine_block(tree, tree.genesis(), 1.2, 0);
+  const BlockId main2 = policy.mine_block(tree, main1, 2.0, 0);
+  EXPECT_EQ(tree.block(main2).uncle_refs.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ethsm::miner

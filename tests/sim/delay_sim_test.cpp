@@ -1,0 +1,134 @@
+#include "sim/delay_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace ethsm::sim {
+namespace {
+
+DelaySimConfig base_config() {
+  DelaySimConfig c;
+  c.delay = 0.15;
+  c.num_blocks = 60'000;
+  c.seed = 123;
+  return c;
+}
+
+TEST(DelaySimConfig, Validation) {
+  auto c = base_config();
+  c.delay = -0.1;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = base_config();
+  c.shares = {0.5, 0.4};  // sums to 0.9
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = base_config();
+  c.shares = {1.0, 0.0};  // zero-power miner
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(DelaySimConfig, DefaultSharesAreTwentyEqualMiners) {
+  const auto shares = DelaySimConfig{}.effective_shares();
+  ASSERT_EQ(shares.size(), 20u);
+  EXPECT_DOUBLE_EQ(shares.front(), 0.05);
+}
+
+TEST(DelaySim, ZeroDelayMeansNoForksAtAll) {
+  auto c = base_config();
+  c.delay = 0.0;
+  const auto r = run_delay_simulation(c);
+  EXPECT_DOUBLE_EQ(r.stale_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(r.uncle_rate(), 0.0);
+  EXPECT_EQ(r.ledger.regular_total(), c.num_blocks);
+}
+
+TEST(DelaySim, Deterministic) {
+  const auto a = run_delay_simulation(base_config());
+  const auto b = run_delay_simulation(base_config());
+  EXPECT_EQ(a.ledger.regular_total(), b.ledger.regular_total());
+  EXPECT_EQ(a.ledger.referenced_uncle_total(),
+            b.ledger.referenced_uncle_total());
+}
+
+TEST(DelaySim, StaleRateGrowsWithDelay) {
+  double previous = -1.0;
+  for (double delay : {0.02, 0.08, 0.2, 0.5}) {
+    auto c = base_config();
+    c.delay = delay;
+    const auto r = run_delay_simulation(c);
+    EXPECT_GT(r.stale_rate(), previous) << "delay=" << delay;
+    previous = r.stale_rate();
+  }
+}
+
+TEST(DelaySim, StaleRateMagnitudeMatchesTheory) {
+  // With n equal miners and delay d (in block intervals), a freshly found
+  // block collides with any competing find in the next ~d interval by
+  // miners who have not seen it: stale fraction ~ d * (1 - HHI) to first
+  // order. Allow a generous band (higher-order fork dynamics).
+  auto c = base_config();
+  c.delay = 0.15;
+  c.num_blocks = 120'000;
+  const auto r = run_delay_simulation(c);
+  const double expected = 0.15 * (1.0 - 0.05);  // 1 - HHI = 0.95
+  const double measured =
+      r.stale_rate() / (1.0 + r.stale_rate());  // per mined block
+  EXPECT_NEAR(measured, expected, expected * 0.35);
+}
+
+TEST(DelaySim, MostStaleBlocksBecomeUnclesAtSmallDelay) {
+  // Natural forks are shallow: almost every stale block is a direct child
+  // of the main chain and gets referenced (that's what uncles are for).
+  auto c = base_config();
+  c.delay = 0.1;
+  const auto r = run_delay_simulation(c);
+  ASSERT_GT(r.stale_rate(), 0.0);
+  EXPECT_GT(r.uncle_rate() / r.stale_rate(), 0.9);
+}
+
+TEST(DelaySim, BigMinersWasteLess) {
+  // Paper Sec. VI: the centralization bias uncle rewards try to fix -- a
+  // large miner never forks against itself, so its stale fraction is lower.
+  DelaySimConfig c;
+  c.shares = {0.40};
+  for (int i = 0; i < 12; ++i) c.shares.push_back(0.05);
+  c.delay = 0.25;
+  c.num_blocks = 150'000;
+  c.seed = 77;
+  const auto r = run_delay_simulation(c);
+
+  double small_total = 0.0;
+  for (std::size_t m = 1; m < c.shares.size(); ++m) {
+    small_total += r.per_miner_stale_fraction[m];
+  }
+  const double small_mean = small_total / 12.0;
+  EXPECT_LT(r.per_miner_stale_fraction[0], small_mean);
+  EXPECT_GT(small_mean, 0.0);
+}
+
+TEST(DelaySim, RevenueSharesStayNearHashShares) {
+  // With uncle rewards on, even at substantial delay the payout spread is
+  // modest -- the design goal of the uncle mechanism.
+  auto c = base_config();
+  c.delay = 0.2;
+  c.num_blocks = 100'000;
+  const auto r = run_delay_simulation(c);
+  const double total = std::accumulate(r.ledger.per_miner_reward.begin(),
+                                       r.ledger.per_miner_reward.end(), 0.0);
+  for (double reward : r.ledger.per_miner_reward) {
+    EXPECT_NEAR(reward / total, 0.05, 0.01);
+  }
+}
+
+TEST(DelaySim, BlockConservation) {
+  const auto r = run_delay_simulation(base_config());
+  const std::uint64_t classified =
+      r.ledger.fates[0].total() + r.ledger.fates[1].total();
+  EXPECT_EQ(classified, r.blocks_mined);
+  std::uint64_t mined_sum = 0;
+  for (auto b : r.per_miner_blocks) mined_sum += b;
+  EXPECT_EQ(mined_sum, r.blocks_mined);
+}
+
+}  // namespace
+}  // namespace ethsm::sim

@@ -1,0 +1,216 @@
+#include "sim/difficulty.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/absolute_revenue.h"
+#include "sim/retarget_sim.h"
+
+namespace ethsm::sim {
+namespace {
+
+DifficultyController::Options scenario1_options() {
+  DifficultyController::Options o;
+  o.scenario = Scenario::regular_rate_one;
+  o.target_rate = 1.0;
+  return o;
+}
+
+TEST(DifficultyController, ValidatesOptions) {
+  auto o = scenario1_options();
+  o.target_rate = 0.0;
+  EXPECT_THROW(DifficultyController{o}, std::invalid_argument);
+  o = scenario1_options();
+  o.max_step = 1.0;
+  EXPECT_THROW(DifficultyController{o}, std::invalid_argument);
+  o = scenario1_options();
+  o.gain = 0.0;
+  EXPECT_THROW(DifficultyController{o}, std::invalid_argument);
+}
+
+TEST(DifficultyController, CountedRateDependsOnScenario) {
+  DifficultyController s1(scenario1_options());
+  auto o2 = scenario1_options();
+  o2.scenario = Scenario::regular_and_uncle_rate_one;
+  DifficultyController s2(o2);
+
+  EpochObservation epoch;
+  epoch.wall_time = 100.0;
+  epoch.regular_blocks = 80;
+  epoch.referenced_uncles = 20;
+  EXPECT_DOUBLE_EQ(s1.counted_rate(epoch), 0.8);
+  EXPECT_DOUBLE_EQ(s2.counted_rate(epoch), 1.0);
+}
+
+TEST(DifficultyController, RaisesDifficultyWhenTooFast) {
+  DifficultyController c(scenario1_options());
+  EpochObservation epoch;
+  epoch.wall_time = 50.0;  // 2x the target rate
+  epoch.regular_blocks = 100;
+  const double before = c.difficulty();
+  c.on_epoch(epoch);
+  EXPECT_GT(c.difficulty(), before);
+}
+
+TEST(DifficultyController, LowersDifficultyWhenTooSlow) {
+  DifficultyController c(scenario1_options());
+  EpochObservation epoch;
+  epoch.wall_time = 200.0;  // half the target rate
+  epoch.regular_blocks = 100;
+  const double before = c.difficulty();
+  c.on_epoch(epoch);
+  EXPECT_LT(c.difficulty(), before);
+}
+
+TEST(DifficultyController, StepIsClamped) {
+  auto o = scenario1_options();
+  o.max_step = 2.0;
+  o.gain = 1.0;
+  DifficultyController c(o);
+  EpochObservation epoch;
+  epoch.wall_time = 1.0;
+  epoch.regular_blocks = 1000;  // 1000x too fast
+  c.on_epoch(epoch);
+  EXPECT_DOUBLE_EQ(c.difficulty(), 2.0);  // clamped to one max_step
+}
+
+TEST(DifficultyController, StalledEpochEasesDifficulty) {
+  DifficultyController c(scenario1_options());
+  EpochObservation epoch;
+  epoch.wall_time = 100.0;
+  epoch.regular_blocks = 0;
+  c.on_epoch(epoch);
+  EXPECT_LT(c.difficulty(), 1.0);
+}
+
+TEST(DifficultyController, ConvergesOnConstantRateInput) {
+  auto o = scenario1_options();
+  o.initial_difficulty = 10.0;
+  DifficultyController c(o);
+  // A world where the block rate is hash/D with hash = 3: equilibrium D = 3.
+  for (int i = 0; i < 60; ++i) {
+    EpochObservation epoch;
+    epoch.wall_time = 100.0;
+    epoch.regular_blocks =
+        static_cast<std::uint64_t>(100.0 * 3.0 / c.difficulty());
+    c.on_epoch(epoch);
+  }
+  EXPECT_NEAR(c.difficulty(), 3.0, 0.1);
+}
+
+TEST(RetargetConfigTest, Validation) {
+  RetargetConfig c;
+  c.epoch_blocks = 5;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = RetargetConfig{};
+  c.epochs = 1;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(RetargetSim, HonestControlConvergesToTargetRate) {
+  RetargetConfig config;
+  config.base.alpha = 0.3;
+  config.base.pool_uses_selfish_strategy = false;
+  config.base.seed = 11;
+  config.controller = scenario1_options();
+  config.controller.initial_difficulty = 5.0;  // start badly mistuned
+  config.hash_rate = 1.0;
+  config.epoch_blocks = 400;
+  config.epochs = 40;
+  const auto result = run_retarget_simulation(config);
+  // No forks without an attacker: regular rate == block rate -> target.
+  EXPECT_NEAR(result.steady_regular_rate, 1.0, 0.05);
+  EXPECT_NEAR(result.final_difficulty, 1.0, 0.1);
+}
+
+TEST(RetargetSim, Scenario1ControllerRestoresRegularRate) {
+  RetargetConfig config;
+  config.base.alpha = 0.35;
+  config.base.gamma = 0.5;
+  config.base.seed = 21;
+  config.controller = scenario1_options();
+  config.epoch_blocks = 400;
+  config.epochs = 50;
+  const auto result = run_retarget_simulation(config);
+  // The attack discards blocks, but retargeting drives the REGULAR rate
+  // back to 1; difficulty must settle BELOW the honest-world value.
+  EXPECT_NEAR(result.steady_regular_rate, 1.0, 0.05);
+  EXPECT_LT(result.final_difficulty, 1.0);
+}
+
+TEST(RetargetSim, Eip100ControllerPinsRegularPlusUncleRate) {
+  RetargetConfig config;
+  config.base.alpha = 0.35;
+  config.base.gamma = 0.5;
+  config.base.seed = 22;
+  config.controller = scenario1_options();
+  config.controller.scenario = Scenario::regular_and_uncle_rate_one;
+  config.epoch_blocks = 400;
+  config.epochs = 50;
+  const auto result = run_retarget_simulation(config);
+  EXPECT_NEAR(result.steady_counted_rate, 1.0, 0.05);
+  // Under EIP100 the regular rate alone stays BELOW target (uncles count).
+  EXPECT_LT(result.steady_regular_rate, 0.97);
+}
+
+class RetargetMatchesStaticAnalysis
+    : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(RetargetMatchesStaticAnalysis, SteadyRevenueMatchesUs) {
+  // The headline property: the paper's static normalization (Sec. IV-E2)
+  // emerges as the fixed point of live retargeting.
+  const Scenario scenario = GetParam();
+  RetargetConfig config;
+  config.base.alpha = 0.30;
+  config.base.gamma = 0.5;
+  config.base.seed = 33;
+  config.controller.scenario = scenario;
+  config.controller.target_rate = 1.0;
+  config.epoch_blocks = 500;
+  config.epochs = 60;
+  const auto result = run_retarget_simulation(config);
+
+  const auto r = analysis::compute_revenue({0.30, 0.5},
+                                           config.base.rewards, 80);
+  const double expected = analysis::pool_absolute_revenue(r, scenario);
+  EXPECT_NEAR(result.steady_pool_revenue_per_counted_block(), expected, 0.01);
+  // And in wall-clock terms: revenue per second ~ Us * target_rate.
+  EXPECT_NEAR(result.steady_pool_reward_rate, expected * 1.0, 0.015);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothScenarios, RetargetMatchesStaticAnalysis,
+                         ::testing::Values(
+                             Scenario::regular_rate_one,
+                             Scenario::regular_and_uncle_rate_one),
+                         [](const auto& info) {
+                           return info.param == Scenario::regular_rate_one
+                                      ? "scenario1"
+                                      : "scenario2";
+                         });
+
+TEST(RetargetSim, Deterministic) {
+  RetargetConfig config;
+  config.base.seed = 44;
+  config.epochs = 10;
+  config.epoch_blocks = 100;
+  const auto a = run_retarget_simulation(config);
+  const auto b = run_retarget_simulation(config);
+  EXPECT_DOUBLE_EQ(a.final_difficulty, b.final_difficulty);
+  EXPECT_DOUBLE_EQ(a.steady_pool_reward_rate, b.steady_pool_reward_rate);
+}
+
+TEST(RetargetSim, EpochTelemetryIsComplete) {
+  RetargetConfig config;
+  config.base.seed = 55;
+  config.epochs = 12;
+  config.epoch_blocks = 100;
+  const auto result = run_retarget_simulation(config);
+  ASSERT_EQ(result.epochs.size(), 12u);
+  for (const auto& e : result.epochs) {
+    EXPECT_GT(e.duration, 0.0);
+    EXPECT_GT(e.difficulty, 0.0);
+    EXPECT_GT(e.regular_rate, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace ethsm::sim

@@ -1,0 +1,85 @@
+#include "support/math_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ethsm::support {
+namespace {
+
+TEST(Bisect, FindsSimpleRoot) {
+  auto root = bisect([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  ASSERT_TRUE(root.has_value());
+  EXPECT_NEAR(*root, std::sqrt(2.0), 1e-8);
+}
+
+TEST(Bisect, ReturnsEndpointWhenRootAtEndpoint) {
+  auto root = bisect([](double x) { return x; }, 0.0, 1.0);
+  ASSERT_TRUE(root.has_value());
+  EXPECT_DOUBLE_EQ(*root, 0.0);
+}
+
+TEST(Bisect, RejectsBracketWithoutSignChange) {
+  auto root = bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0);
+  EXPECT_FALSE(root.has_value());
+}
+
+TEST(Bisect, HonorsTolerance) {
+  BisectOptions opt;
+  opt.tolerance = 1e-12;
+  auto root = bisect([](double x) { return std::cos(x); }, 0.0, 3.0, opt);
+  ASSERT_TRUE(root.has_value());
+  EXPECT_NEAR(*root, M_PI / 2.0, 1e-10);
+}
+
+TEST(FirstTrue, FindsCrossingPoint) {
+  auto x = first_true([](double v) { return v >= 0.37; }, 0.0, 1.0, 1e-9);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR(*x, 0.37, 1e-7);
+}
+
+TEST(FirstTrue, ReturnsLoWhenAlreadyTrue) {
+  auto x = first_true([](double) { return true; }, 0.25, 1.0);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_DOUBLE_EQ(*x, 0.25);
+}
+
+TEST(FirstTrue, ReturnsNulloptWhenNeverTrue) {
+  auto x = first_true([](double) { return false; }, 0.0, 1.0);
+  EXPECT_FALSE(x.has_value());
+}
+
+TEST(Close, RelativeAndAbsolute) {
+  EXPECT_TRUE(close(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(close(1.0, 1.001));
+  EXPECT_TRUE(close(1.0, 1.001, 1e-2));
+  EXPECT_TRUE(close(0.0, 1e-13));
+  EXPECT_FALSE(close(0.0, 1e-6));
+}
+
+TEST(GeometricSum, MatchesDirectSummation) {
+  for (double q : {0.3, 0.99, 1.0, 1.5}) {
+    for (int n : {0, 1, 5, 20}) {
+      double direct = 0.0;
+      for (int k = 0; k < n; ++k) direct += std::pow(q, k);
+      EXPECT_NEAR(geometric_sum(q, n), direct, 1e-9) << "q=" << q << " n=" << n;
+    }
+  }
+}
+
+TEST(Ipow, MatchesStdPowForIntegers) {
+  for (double b : {0.0, 0.5, 1.0, 2.0, -3.0}) {
+    for (int e : {0, 1, 2, 7, 15}) {
+      EXPECT_NEAR(ipow(b, e), std::pow(b, e), 1e-9 * std::fabs(std::pow(b, e)) + 1e-12)
+          << "b=" << b << " e=" << e;
+    }
+  }
+}
+
+TEST(Ipow, ZeroExponentIsOne) {
+  EXPECT_DOUBLE_EQ(ipow(0.0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(ipow(123.0, 0), 1.0);
+}
+
+}  // namespace
+}  // namespace ethsm::support
