@@ -13,6 +13,7 @@
 #include "sim/simulator.h"
 #include "support/csv.h"
 #include "support/table.h"
+#include "support/thread_pool.h"
 
 namespace {
 
@@ -36,7 +37,10 @@ int main(int argc, char** argv) {
   const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
 
   std::cout << "== Extension: stubborn mining in Ethereum "
-               "(gamma = 0.5, Byzantium, scenario 1) ==\n\n";
+               "(gamma = 0.5, Byzantium, scenario 1) ==\n"
+            << "   sweep threads: "
+            << ethsm::support::ThreadPool::global().concurrency()
+            << " (override with ETHSM_THREADS)\n\n";
 
   const std::vector<Variant> variants = {
       {"Alg.1", make(false, false, 0)}, {"L", make(true, false, 0)},

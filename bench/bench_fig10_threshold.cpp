@@ -13,12 +13,16 @@
 #include "analysis/sweep.h"
 #include "support/csv.h"
 #include "support/table.h"
+#include "support/thread_pool.h"
 
 int main(int argc, char** argv) {
   using ethsm::support::TextTable;
   const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
 
-  std::cout << "== Fig. 10: profitability threshold vs gamma (Ku(.)) ==\n\n";
+  std::cout << "== Fig. 10: profitability threshold vs gamma (Ku(.)) ==\n"
+            << "   sweep threads: "
+            << ethsm::support::ThreadPool::global().concurrency()
+            << " (override with ETHSM_THREADS)\n\n";
 
   ethsm::analysis::ThresholdCurveOptions opt;
   if (quick) {

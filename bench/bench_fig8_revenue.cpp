@@ -10,12 +10,16 @@
 #include "analysis/sweep.h"
 #include "support/csv.h"
 #include "support/table.h"
+#include "support/thread_pool.h"
 
 int main(int argc, char** argv) {
   using ethsm::support::TextTable;
   const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
 
-  std::cout << "== Fig. 8: revenue vs alpha (gamma = 0.5, Ku = 4/8 Ks) ==\n\n";
+  std::cout << "== Fig. 8: revenue vs alpha (gamma = 0.5, Ku = 4/8 Ks) ==\n"
+            << "   sweep threads: "
+            << ethsm::support::ThreadPool::global().concurrency()
+            << " (override with ETHSM_THREADS)\n\n";
 
   ethsm::analysis::RevenueCurveOptions opt;
   opt.gamma = 0.5;

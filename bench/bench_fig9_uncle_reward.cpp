@@ -16,6 +16,7 @@
 #include "analysis/sweep.h"
 #include "support/csv.h"
 #include "support/table.h"
+#include "support/thread_pool.h"
 
 namespace {
 
@@ -32,7 +33,10 @@ int main() {
   using ethsm::rewards::RewardConfig;
 
   std::cout << "== Fig. 9: revenue under different uncle rewards "
-               "(gamma = 0.5) ==\n\n";
+               "(gamma = 0.5) ==\n"
+            << "   sweep threads: "
+            << ethsm::support::ThreadPool::global().concurrency()
+            << " (override with ETHSM_THREADS)\n\n";
 
   // The paper's flat variants pay at any distance -> horizon 100 (uncapped
   // in practice: leads beyond 100 have stationary mass < 1e-27).

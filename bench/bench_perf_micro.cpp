@@ -3,8 +3,18 @@
 // evaluation, uncle-candidate collection, and end-to-end experiment pieces.
 // Not a paper artefact -- this guards the practicality of the harness (a full
 // Fig. 8 regeneration runs 19 x 10 x 100k blocks through the simulator).
+//
+// Unless a --benchmark_out flag is given, results are written to
+// BENCH_perf.json (google-benchmark JSON format, with hardware_concurrency
+// recorded in the context) so the perf trajectory is tracked in-repo.
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "analysis/revenue.h"
 #include "analysis/threshold.h"
@@ -15,6 +25,8 @@
 #include "miner/honest_policy.h"
 #include "miner/selfish_policy.h"
 #include "sim/simulator.h"
+#include "support/stats.h"
+#include "support/thread_pool.h"
 
 namespace {
 
@@ -45,6 +57,72 @@ void BM_StationarySolve(benchmark::State& state) {
 }
 BENCHMARK(BM_StationarySolve)->Arg(40)->Arg(80)->Arg(160)
     ->Unit(benchmark::kMillisecond);
+
+/// The pre-CSR solver: power iteration over the array-of-structs edge list.
+/// Kept as the baseline half of the CSR-vs-edge-list comparison so the gain
+/// from row-contiguous structure-of-arrays iteration stays measured.
+std::vector<double> solve_stationary_edge_list(
+    const ethsm::markov::TransitionModel& model, double tolerance,
+    int max_iterations) {
+  const auto n = static_cast<std::size_t>(model.space().size());
+  std::vector<double> pi(n, 0.0);
+  std::vector<double> next(n, 0.0);
+  pi[0] = 1.0;
+  double diff = 1.0;
+  for (int iter = 0; iter < max_iterations && diff > tolerance; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (const ethsm::markov::Transition& t : model.transitions()) {
+      next[static_cast<std::size_t>(t.to)] +=
+          pi[static_cast<std::size_t>(t.from)] * t.rate;
+    }
+    diff = 0.0;
+    for (std::size_t s = 0; s < n; ++s) diff += std::abs(next[s] - pi[s]);
+    pi.swap(next);
+  }
+  ethsm::support::KahanSum total;
+  for (double p : pi) total.add(p);
+  for (double& p : pi) p /= total.value();
+  return pi;
+}
+
+void BM_StationarySolveEdgeList(benchmark::State& state) {
+  const int max_lead = static_cast<int>(state.range(0));
+  const ethsm::markov::StateSpace space(max_lead);
+  const ethsm::markov::TransitionModel model(space, {0.4, 0.5});
+  const ethsm::markov::StationaryOptions defaults;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_stationary_edge_list(
+        model, defaults.tolerance, defaults.max_iterations));
+  }
+  state.SetLabel(std::to_string(space.size()) + " states");
+}
+BENCHMARK(BM_StationarySolveEdgeList)->Arg(40)->Arg(80)->Arg(160)
+    ->Unit(benchmark::kMillisecond);
+
+/// Sweep-scale multi-run throughput vs thread count. The work per iteration
+/// is fixed (8 runs x 20k blocks), so the ratio of the Arg(1) to Arg(N)
+/// real-time numbers is the parallel speedup recorded in BENCH_perf.json.
+void BM_RunManyParallel(benchmark::State& state) {
+  const auto threads = static_cast<unsigned>(state.range(0));
+  ethsm::support::ThreadPool::set_global_concurrency(threads);
+  ethsm::sim::SimConfig config;
+  config.alpha = 0.35;
+  config.gamma = 0.5;
+  config.num_blocks = 20'000;
+  constexpr int kRuns = 8;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    config.seed = seed++;
+    benchmark::DoNotOptimize(ethsm::sim::run_many(config, kRuns));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kRuns *
+                          static_cast<std::int64_t>(config.num_blocks));
+  ethsm::support::ThreadPool::set_global_concurrency(
+      ethsm::support::ThreadPool::default_concurrency());
+}
+BENCHMARK(BM_RunManyParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
 
 void BM_RevenueBreakdown(benchmark::State& state) {
   const auto config = ethsm::rewards::RewardConfig::ethereum_byzantium();
@@ -137,3 +215,37 @@ void BM_UncleDistanceDistribution(benchmark::State& state) {
 BENCHMARK(BM_UncleDistanceDistribution)->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  // Default the output to BENCH_perf.json unless the caller chose a sink;
+  // the storage lives here so the char* argv stays valid through Initialize.
+  std::vector<std::string> arg_storage(argv, argv + argc);
+  bool has_out = false;
+  for (const std::string& a : arg_storage) {
+    if (a == "--benchmark_out" || a.rfind("--benchmark_out=", 0) == 0) {
+      has_out = true;
+    }
+  }
+  if (!has_out) {
+    arg_storage.push_back("--benchmark_out=BENCH_perf.json");
+    arg_storage.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> args;
+  args.reserve(arg_storage.size());
+  for (std::string& a : arg_storage) args.push_back(a.data());
+  int args_count = static_cast<int>(args.size());
+
+  benchmark::Initialize(&args_count, args.data());
+  benchmark::AddCustomContext(
+      "hardware_concurrency",
+      std::to_string(std::thread::hardware_concurrency()));
+  benchmark::AddCustomContext(
+      "ethsm_default_threads",
+      std::to_string(ethsm::support::ThreadPool::default_concurrency()));
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -9,13 +9,17 @@
 #include "sim/simulator.h"
 #include "support/csv.h"
 #include "support/table.h"
+#include "support/thread_pool.h"
 
 int main(int argc, char** argv) {
   using ethsm::support::TextTable;
   const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
 
   std::cout << "== Table II: honest uncles' referencing distances "
-               "(gamma = 0.5) ==\n\n";
+               "(gamma = 0.5) ==\n"
+            << "   sweep threads: "
+            << ethsm::support::ThreadPool::global().concurrency()
+            << " (override with ETHSM_THREADS)\n\n";
 
   TextTable table({"Referencing distance", "alpha=0.3 (analysis)",
                    "alpha=0.3 (sim)", "alpha=0.45 (analysis)",

@@ -11,6 +11,7 @@
 #include "analysis/threshold.h"
 #include "sim/population_sim.h"
 #include "support/table.h"
+#include "support/thread_pool.h"
 
 namespace {
 
@@ -112,5 +113,16 @@ int main() {
   fairness.add_row({"referenced uncles per regular block",
                     TextTable::num(result.sim.uncle_rate(), 3)});
   fairness.print(std::cout);
+
+  // Confidence check: independent runs fanned out over the thread pool.
+  sim::PopulationConfig many_pc = pc;
+  many_pc.base.num_blocks = 30'000;
+  const auto many = sim::run_population_many(many_pc, 4);
+  std::cout << "\nMulti-run check (4 x 30k blocks, "
+            << support::ThreadPool::global().concurrency()
+            << " threads): pool revenue share "
+            << TextTable::num(many.sim.pool_share.mean(), 4) << " +- "
+            << TextTable::num(many.sim.pool_share.ci_halfwidth(), 4)
+            << " (95% CI)\n";
   return 0;
 }

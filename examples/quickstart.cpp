@@ -13,6 +13,7 @@
 #include "analysis/bitcoin_es.h"
 #include "analysis/sweep.h"
 #include "support/table.h"
+#include "support/thread_pool.h"
 
 int main(int argc, char** argv) {
   using namespace ethsm;
@@ -27,7 +28,9 @@ int main(int argc, char** argv) {
 
   std::cout << "Pool hash power alpha = " << alpha
             << ", network capability gamma = " << gamma
-            << " (Byzantium rewards)\n\n";
+            << " (Byzantium rewards; sim threads: "
+            << support::ThreadPool::global().concurrency()
+            << ", override with ETHSM_THREADS)\n\n";
 
   // Analysis.
   const auto config = rewards::RewardConfig::ethereum_byzantium();

@@ -15,19 +15,32 @@ RevenueBreakdown compute_revenue(const markov::StationaryDistribution& pi,
   support::KahanSum honest_static, honest_uncle, honest_nephew;
   support::KahanSum regular_rate, uncle_rate;
 
-  for (const markov::Transition& t : model.transitions()) {
-    const double weight = pi[t.from] * t.rate;
-    if (weight == 0.0) continue;
-    const RewardFlow flow = expected_rewards(model.space().state_at(t.from),
-                                             t.kind, model.params(), config);
-    pool_static.add(weight * flow.pool_static);
-    pool_uncle.add(weight * flow.pool_uncle);
-    pool_nephew.add(weight * flow.pool_nephew);
-    honest_static.add(weight * flow.honest_static);
-    honest_uncle.add(weight * flow.honest_uncle);
-    honest_nephew.add(weight * flow.honest_nephew);
-    regular_rate.add(weight * flow.regular_probability);
-    uncle_rate.add(weight * flow.referenced_uncle_probability);
+  // CSR row walk: the stationary mass and source state are hoisted per row,
+  // and zero-mass rows (deep truncation tail) skip their reward-case
+  // evaluations entirely.
+  const int n = model.space().size();
+  const auto& row = model.row_offsets();
+  const auto& rate = model.rates();
+  const auto& kind = model.kinds();
+  for (int s = 0; s < n; ++s) {
+    const double mass = pi[s];
+    if (mass == 0.0) continue;
+    const markov::State& st = model.space().state_at(s);
+    for (std::uint32_t k = row[static_cast<std::size_t>(s)];
+         k < row[static_cast<std::size_t>(s) + 1]; ++k) {
+      const double weight = mass * rate[k];
+      if (weight == 0.0) continue;
+      const RewardFlow flow =
+          expected_rewards(st, kind[k], model.params(), config);
+      pool_static.add(weight * flow.pool_static);
+      pool_uncle.add(weight * flow.pool_uncle);
+      pool_nephew.add(weight * flow.pool_nephew);
+      honest_static.add(weight * flow.honest_static);
+      honest_uncle.add(weight * flow.honest_uncle);
+      honest_nephew.add(weight * flow.honest_nephew);
+      regular_rate.add(weight * flow.regular_probability);
+      uncle_rate.add(weight * flow.referenced_uncle_probability);
+    }
   }
 
   RevenueBreakdown out;
@@ -44,10 +57,24 @@ RevenueBreakdown compute_revenue(const markov::StationaryDistribution& pi,
 
 RevenueBreakdown compute_revenue(const markov::MiningParams& params,
                                  const rewards::RewardConfig& config,
-                                 int max_lead) {
-  const markov::StateSpace space(max_lead);
-  const markov::TransitionModel model(space, params);
-  const auto pi = markov::solve_stationary(model);
+                                 int max_lead, RevenueCache* cache) {
+  if (cache == nullptr) {
+    const markov::StateSpace space(max_lead);
+    const markov::TransitionModel model(space, params);
+    const auto pi = markov::solve_stationary(model);
+    return compute_revenue(pi, model, config);
+  }
+
+  if (!cache->space || cache->max_lead != max_lead) {
+    cache->space = std::make_unique<markov::StateSpace>(max_lead);
+    cache->max_lead = max_lead;
+    cache->last_pi.clear();
+  }
+  const markov::TransitionModel model(*cache->space, params);
+  markov::StationaryOptions options;
+  if (!cache->last_pi.empty()) options.initial = &cache->last_pi;
+  const auto pi = markov::solve_stationary(model, options);
+  cache->last_pi = pi.values();
   return compute_revenue(pi, model, config);
 }
 

@@ -2,6 +2,7 @@
 
 #include "analysis/bitcoin_es.h"
 #include "support/check.h"
+#include "support/parallel.h"
 #include "support/rng.h"
 
 namespace ethsm::analysis {
@@ -18,36 +19,76 @@ std::vector<double> fig10_gamma_grid() {
   return gammas;
 }
 
+namespace {
+
+/// Per-point master seed; kept identical to the historical serial driver so
+/// recorded experiment outputs stay reproducible.
+std::uint64_t point_seed(const RevenueCurveOptions& options, double alpha) {
+  return support::derive_seed(options.sim_seed,
+                              static_cast<std::uint64_t>(alpha * 1e6));
+}
+
+}  // namespace
+
 std::vector<RevenuePoint> revenue_curve(const RevenueCurveOptions& options) {
   const std::vector<double> alphas =
       options.alphas.empty() ? fig8_alpha_grid() : options.alphas;
 
-  std::vector<RevenuePoint> curve;
-  curve.reserve(alphas.size());
-  for (double alpha : alphas) {
-    RevenuePoint point;
-    point.alpha = alpha;
+  // Markov analysis: one independent job per alpha.
+  std::vector<RevenuePoint> curve =
+      support::parallel_map(alphas.size(), [&](std::size_t i) {
+        const double alpha = alphas[i];
+        RevenuePoint point;
+        point.alpha = alpha;
 
-    const markov::MiningParams params{alpha, options.gamma};
-    const RevenueBreakdown r =
-        compute_revenue(params, options.rewards, options.max_lead);
-    point.pool_revenue = pool_absolute_revenue(r, options.scenario);
-    point.honest_revenue = honest_absolute_revenue(r, options.scenario);
-    point.total_revenue = total_revenue(r, options.scenario);
-    point.uncle_rate = r.regular_rate == 0.0
-                           ? 0.0
-                           : r.referenced_uncle_rate / r.regular_rate;
+        const markov::MiningParams params{alpha, options.gamma};
+        const RevenueBreakdown r =
+            compute_revenue(params, options.rewards, options.max_lead);
+        point.pool_revenue = pool_absolute_revenue(r, options.scenario);
+        point.honest_revenue = honest_absolute_revenue(r, options.scenario);
+        point.total_revenue = total_revenue(r, options.scenario);
+        point.uncle_rate = r.regular_rate == 0.0
+                               ? 0.0
+                               : r.referenced_uncle_rate / r.regular_rate;
+        return point;
+      });
 
-    if (options.sim_runs > 0 && alpha > 0.0) {
+  // Monte-Carlo cross-checks: fan out over (alpha x run) jobs, the finest
+  // granularity available, so a 19-alpha x 10-run sweep keeps every core
+  // busy. Per-run seeds replicate the serial run_many chain exactly and the
+  // per-point aggregation below absorbs in run order, so the curve is
+  // bitwise-identical for any thread count.
+  if (options.sim_runs > 0) {
+    struct SimJob {
+      std::size_t point_index = 0;
+      int run = 0;
+    };
+    std::vector<SimJob> jobs;
+    jobs.reserve(alphas.size() * static_cast<std::size_t>(options.sim_runs));
+    for (std::size_t i = 0; i < alphas.size(); ++i) {
+      if (alphas[i] <= 0.0) continue;
+      for (int r = 0; r < options.sim_runs; ++r) jobs.push_back({i, r});
+    }
+
+    const auto sims = support::parallel_map(jobs.size(), [&](std::size_t j) {
+      const SimJob& job = jobs[j];
       sim::SimConfig sim_config;
-      sim_config.alpha = alpha;
+      sim_config.alpha = alphas[job.point_index];
       sim_config.gamma = options.gamma;
       sim_config.rewards = options.rewards;
       sim_config.num_blocks = options.sim_blocks;
       sim_config.seed = support::derive_seed(
-          options.sim_seed, static_cast<std::uint64_t>(alpha * 1e6));
-      const sim::MultiRunSummary sum =
-          sim::run_many(sim_config, options.sim_runs);
+          point_seed(options, alphas[job.point_index]),
+          static_cast<std::uint64_t>(job.run));
+      return sim::run_simulation(sim_config);
+    });
+
+    std::size_t j = 0;
+    for (std::size_t i = 0; i < alphas.size(); ++i) {
+      if (alphas[i] <= 0.0) continue;
+      sim::MultiRunSummary sum;
+      for (int r = 0; r < options.sim_runs; ++r) sum.absorb(sims[j++]);
+      RevenuePoint& point = curve[i];
       point.pool_revenue_sim = sum.pool_revenue(options.scenario).mean();
       point.honest_revenue_sim = sum.honest_revenue(options.scenario).mean();
       point.pool_revenue_sim_ci =
@@ -55,7 +96,7 @@ std::vector<RevenuePoint> revenue_curve(const RevenueCurveOptions& options) {
       point.honest_revenue_sim_ci =
           sum.honest_revenue(options.scenario).ci_halfwidth();
     }
-    curve.push_back(point);
+    ETHSM_ENSURES(j == sims.size(), "sim job accounting mismatch");
   }
   return curve;
 }
@@ -65,9 +106,10 @@ std::vector<ThresholdPoint> threshold_curve(
   const std::vector<double> gammas =
       options.gammas.empty() ? fig10_gamma_grid() : options.gammas;
 
-  std::vector<ThresholdPoint> curve;
-  curve.reserve(gammas.size());
-  for (double gamma : gammas) {
+  // One job per gamma; each runs two bisections (both difficulty scenarios)
+  // that share nothing across gammas.
+  return support::parallel_map(gammas.size(), [&](std::size_t i) {
+    const double gamma = gammas[i];
     ThresholdPoint point;
     point.gamma = gamma;
     point.bitcoin = eyal_sirer_threshold(gamma);
@@ -77,9 +119,8 @@ std::vector<ThresholdPoint> threshold_curve(
         profitability_threshold(gamma, options.rewards,
                                 Scenario::regular_and_uncle_rate_one,
                                 options.threshold);
-    curve.push_back(point);
-  }
-  return curve;
+    return point;
+  });
 }
 
 }  // namespace ethsm::analysis

@@ -6,11 +6,22 @@
 
 namespace ethsm::chain {
 
-BlockTree::BlockTree(std::size_t reserve_hint) {
+BlockTree::BlockTree(std::size_t reserve_hint) { reset(reserve_hint); }
+
+void BlockTree::reset(std::size_t reserve_hint) {
+  blocks_.clear();
+  first_child_.clear();
+  last_child_.clear();
+  next_sibling_.clear();
   if (reserve_hint > 0) {
     blocks_.reserve(reserve_hint);
-    children_.reserve(reserve_hint);
+    first_child_.reserve(reserve_hint);
+    last_child_.reserve(reserve_hint);
+    next_sibling_.reserve(reserve_hint);
   }
+  mined_count_[0] = 0;
+  mined_count_[1] = 0;
+
   Block genesis;
   genesis.parent = kNoBlock;
   genesis.height = 0;
@@ -18,7 +29,9 @@ BlockTree::BlockTree(std::size_t reserve_hint) {
   genesis.mined_at = 0.0;
   genesis.published_at = 0.0;
   blocks_.push_back(std::move(genesis));
-  children_.emplace_back();
+  first_child_.push_back(kNoBlock);
+  last_child_.push_back(kNoBlock);
+  next_sibling_.push_back(kNoBlock);
   // Genesis is not attributed to either class for mined-count purposes.
 }
 
@@ -38,8 +51,15 @@ BlockId BlockTree::append(BlockId parent, MinerClass miner,
 
   const auto id = static_cast<BlockId>(blocks_.size());
   blocks_.push_back(std::move(b));
-  children_.emplace_back();
-  children_[parent].push_back(id);
+  first_child_.push_back(kNoBlock);
+  last_child_.push_back(kNoBlock);
+  next_sibling_.push_back(kNoBlock);
+  if (first_child_[parent] == kNoBlock) {
+    first_child_[parent] = id;
+  } else {
+    next_sibling_[last_child_[parent]] = id;
+  }
+  last_child_[parent] = id;
   ++mined_count_[static_cast<std::size_t>(miner)];
   return id;
 }
@@ -72,9 +92,9 @@ bool BlockTree::is_published(BlockId id) const {
   return blocks_[id].is_published();
 }
 
-const std::vector<BlockId>& BlockTree::children(BlockId id) const {
+BlockTree::ChildRange BlockTree::children(BlockId id) const {
   check_id(id);
-  return children_[id];
+  return ChildRange(first_child_[id], &next_sibling_);
 }
 
 bool BlockTree::is_ancestor_of(BlockId ancestor, BlockId descendant) const {
@@ -105,6 +125,12 @@ std::vector<BlockId> BlockTree::chain_from_genesis(BlockId tip) const {
 
 void BlockTree::check_id(BlockId id) const {
   ETHSM_EXPECTS(id < blocks_.size(), "unknown block id");
+}
+
+BlockTree& thread_local_tree(std::size_t reserve_hint) {
+  thread_local BlockTree tree;
+  tree.reset(reserve_hint);
+  return tree;
 }
 
 }  // namespace ethsm::chain

@@ -2,11 +2,17 @@
 // of blocks; a main chain is selected from it. This class stores the tree and
 // answers the ancestry/height queries that uncle eligibility (Sec. III-B) and
 // the mining policies (Sec. III-C) need.
+//
+// Child links are stored arena-style (first/last child + next sibling arrays
+// indexed by BlockId) rather than one heap vector per node, so a tree can be
+// reset() and refilled by the multi-run drivers without reallocating — the
+// sweep hot path runs thousands of 100k-block simulations per experiment.
 
 #ifndef ETHSM_CHAIN_BLOCK_TREE_H
 #define ETHSM_CHAIN_BLOCK_TREE_H
 
 #include <cstddef>
+#include <iterator>
 #include <vector>
 
 #include "chain/block.h"
@@ -15,9 +21,81 @@ namespace ethsm::chain {
 
 class BlockTree {
  public:
+  /// Forward range over a block's children, in append order.
+  class ChildRange {
+   public:
+    class iterator {
+     public:
+      using iterator_category = std::forward_iterator_tag;
+      using value_type = BlockId;
+      using difference_type = std::ptrdiff_t;
+      using pointer = const BlockId*;
+      using reference = BlockId;
+
+      iterator() = default;
+      iterator(BlockId current, const std::vector<BlockId>* next_sibling)
+          : current_(current), next_sibling_(next_sibling) {}
+
+      BlockId operator*() const noexcept { return current_; }
+      iterator& operator++() noexcept {
+        current_ = (*next_sibling_)[current_];
+        return *this;
+      }
+      iterator operator++(int) noexcept {
+        iterator copy = *this;
+        ++(*this);
+        return copy;
+      }
+      bool operator==(const iterator& o) const noexcept {
+        return current_ == o.current_;
+      }
+      bool operator!=(const iterator& o) const noexcept {
+        return current_ != o.current_;
+      }
+
+     private:
+      BlockId current_ = kNoBlock;
+      const std::vector<BlockId>* next_sibling_ = nullptr;
+    };
+
+    ChildRange(BlockId first, const std::vector<BlockId>* next_sibling)
+        : first_(first), next_sibling_(next_sibling) {}
+
+    [[nodiscard]] iterator begin() const noexcept {
+      return iterator(first_, next_sibling_);
+    }
+    [[nodiscard]] iterator end() const noexcept {
+      return iterator(kNoBlock, next_sibling_);
+    }
+    [[nodiscard]] bool empty() const noexcept { return first_ == kNoBlock; }
+
+    /// Number of children; O(children) walk, meant for tests and diagnostics.
+    [[nodiscard]] std::size_t size() const noexcept {
+      std::size_t n = 0;
+      for (BlockId c = first_; c != kNoBlock; c = (*next_sibling_)[c]) ++n;
+      return n;
+    }
+    /// i-th child in append order, or kNoBlock when i is out of range;
+    /// O(i) walk, meant for tests and diagnostics.
+    [[nodiscard]] BlockId operator[](std::size_t i) const noexcept {
+      BlockId c = first_;
+      while (i-- > 0 && c != kNoBlock) c = (*next_sibling_)[c];
+      return c;
+    }
+
+   private:
+    BlockId first_;
+    const std::vector<BlockId>* next_sibling_;
+  };
+
   /// Creates a tree holding only the genesis block (published at time 0,
   /// height 0, honest-owned by convention; genesis earns no rewards).
   explicit BlockTree(std::size_t reserve_hint = 0);
+
+  /// Clears the tree back to the genesis-only state while keeping all node
+  /// storage capacity. Equivalent to assigning a fresh BlockTree but without
+  /// the allocations; the multi-run drivers reuse one tree per thread.
+  void reset(std::size_t reserve_hint = 0);
 
   [[nodiscard]] BlockId genesis() const noexcept { return 0; }
   [[nodiscard]] std::size_t size() const noexcept { return blocks_.size(); }
@@ -36,7 +114,7 @@ class BlockTree {
   [[nodiscard]] std::uint32_t height(BlockId id) const;
   [[nodiscard]] BlockId parent(BlockId id) const;
   [[nodiscard]] bool is_published(BlockId id) const;
-  [[nodiscard]] const std::vector<BlockId>& children(BlockId id) const;
+  [[nodiscard]] ChildRange children(BlockId id) const;
 
   /// True iff `ancestor` lies on the parent path of `descendant`
   /// (a block is an ancestor of itself).
@@ -57,9 +135,21 @@ class BlockTree {
   void check_id(BlockId id) const;
 
   std::vector<Block> blocks_;
-  std::vector<std::vector<BlockId>> children_;
+  // Arena child links: children of `p` are the chain first_child_[p],
+  // next_sibling_[first_child_[p]], ... in append order.
+  std::vector<BlockId> first_child_;
+  std::vector<BlockId> last_child_;
+  std::vector<BlockId> next_sibling_;
   std::uint64_t mined_count_[2] = {0, 0};
 };
+
+/// Per-thread reusable tree arena for the simulation drivers: a thread_local
+/// tree reset() to the genesis-only state with the given capacity hint.
+/// Multi-run sweeps call this once per run instead of constructing a fresh
+/// tree, so node storage is allocated once per thread and reused. The
+/// reference stays valid for the calling thread's lifetime; each call
+/// invalidates the previous contents.
+[[nodiscard]] BlockTree& thread_local_tree(std::size_t reserve_hint);
 
 }  // namespace ethsm::chain
 

@@ -26,42 +26,81 @@ double StationaryDistribution::at(const State& s) const {
 
 double StationaryDistribution::balance_residual(
     const TransitionModel& model) const {
-  const int n = space_->size();
-  std::vector<double> inflow(static_cast<std::size_t>(n), 0.0);
-  std::vector<double> outflow(static_cast<std::size_t>(n), 0.0);
-  for (const Transition& t : model.transitions()) {
-    if (t.from == t.to) continue;  // self-loops cancel in balance
-    const double flux = pi_[static_cast<std::size_t>(t.from)] * t.rate;
-    outflow[static_cast<std::size_t>(t.from)] += flux;
-    inflow[static_cast<std::size_t>(t.to)] += flux;
+  const auto n = static_cast<std::size_t>(space_->size());
+  // Scratch reused across calls (sweeps evaluate thousands of models); the
+  // assign() below only reallocates when a larger space comes along.
+  thread_local std::vector<double> inflow;
+  thread_local std::vector<double> outflow;
+  inflow.assign(n, 0.0);
+  outflow.assign(n, 0.0);
+
+  const auto& row = model.row_offsets();
+  const auto& col = model.columns();
+  const auto& rate = model.rates();
+  for (std::size_t s = 0; s < n; ++s) {
+    const double ps = pi_[s];
+    if (ps == 0.0) continue;
+    double out_flux = 0.0;
+    for (std::uint32_t k = row[s]; k < row[s + 1]; ++k) {
+      const auto to = static_cast<std::size_t>(col[k]);
+      if (to == s) continue;  // self-loops cancel in balance
+      const double flux = ps * rate[k];
+      out_flux += flux;
+      inflow[to] += flux;
+    }
+    outflow[s] += out_flux;
   }
   double worst = 0.0;
-  for (int s = 0; s < n; ++s) {
-    worst = std::max(worst, std::fabs(inflow[static_cast<std::size_t>(s)] -
-                                      outflow[static_cast<std::size_t>(s)]));
+  for (std::size_t s = 0; s < n; ++s) {
+    worst = std::max(worst, std::fabs(inflow[s] - outflow[s]));
   }
   return worst;
 }
 
 StationaryDistribution solve_stationary(const TransitionModel& model,
                                         const StationaryOptions& options) {
-  const int n = model.space().size();
-  std::vector<double> pi(static_cast<std::size_t>(n), 0.0);
-  std::vector<double> next(static_cast<std::size_t>(n), 0.0);
-  pi[0] = 1.0;  // start at (0,0); any distribution works
+  const auto n = static_cast<std::size_t>(model.space().size());
+  const auto& row = model.row_offsets();
+  const auto& col = model.columns();
+  const auto& rate = model.rates();
+
+  std::vector<double> pi;
+  if (options.initial != nullptr && options.initial->size() == n) {
+    // Warm start (e.g. the previous bisection step's solution). Renormalise
+    // defensively; the fixed point does not depend on the starting vector.
+    pi = *options.initial;
+    double mass = 0.0;
+    for (double p : pi) mass += p;
+    if (mass > 0.0) {
+      for (double& p : pi) p /= mass;
+    } else {
+      std::fill(pi.begin(), pi.end(), 0.0);
+      pi[0] = 1.0;
+    }
+  } else {
+    pi.assign(n, 0.0);
+    pi[0] = 1.0;  // start at (0,0); any distribution works
+  }
+
+  // The ping-pong buffer survives across calls per thread; after the swap
+  // dance it keeps whichever allocation is not returned to the caller.
+  thread_local std::vector<double> next;
+  next.assign(n, 0.0);
 
   double diff = 1.0;
   int iter = 0;
   for (; iter < options.max_iterations && diff > options.tolerance; ++iter) {
     std::fill(next.begin(), next.end(), 0.0);
-    for (const Transition& t : model.transitions()) {
-      next[static_cast<std::size_t>(t.to)] +=
-          pi[static_cast<std::size_t>(t.from)] * t.rate;
+    for (std::size_t s = 0; s < n; ++s) {
+      const double ps = pi[s];
+      if (ps == 0.0) continue;
+      for (std::uint32_t k = row[s]; k < row[s + 1]; ++k) {
+        next[static_cast<std::size_t>(col[k])] += ps * rate[k];
+      }
     }
     diff = 0.0;
-    for (int s = 0; s < n; ++s) {
-      diff += std::fabs(next[static_cast<std::size_t>(s)] -
-                        pi[static_cast<std::size_t>(s)]);
+    for (std::size_t s = 0; s < n; ++s) {
+      diff += std::fabs(next[s] - pi[s]);
     }
     pi.swap(next);
   }

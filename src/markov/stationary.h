@@ -19,6 +19,12 @@ namespace ethsm::markov {
 struct StationaryOptions {
   double tolerance = 1e-14;  ///< L1 change per sweep at which to stop
   int max_iterations = 200'000;
+  /// Optional warm start: when it matches the space size, power iteration
+  /// begins from this (renormalised) vector instead of the point mass at
+  /// (0,0). The fixed point is unchanged; only the iteration count drops.
+  /// Used by the profitability-threshold bisection, whose successive alphas
+  /// produce nearly identical chains (analysis/threshold.cpp).
+  const std::vector<double>* initial = nullptr;
 };
 
 /// The solved distribution plus solver diagnostics.

@@ -44,9 +44,16 @@ void TransitionModel::build() {
   const double g = params_.gamma;
   const int n = space_.size();
 
-  first_out_.assign(static_cast<std::size_t>(n) + 1, 0);
+  row_offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  columns_.clear();
+  rates_.clear();
+  kinds_.clear();
   transitions_.clear();
-  transitions_.reserve(static_cast<std::size_t>(n) * 3);
+  const auto reserve = static_cast<std::size_t>(n) * 3;
+  columns_.reserve(reserve);
+  rates_.reserve(reserve);
+  kinds_.reserve(reserve);
+  transitions_.reserve(reserve);
 
   auto idx = [this](int ls, int lh) {
     const int i = space_.index_of(State{ls, lh});
@@ -55,11 +62,16 @@ void TransitionModel::build() {
   };
 
   for (int s = 0; s < n; ++s) {
-    first_out_[static_cast<std::size_t>(s)] =
-        static_cast<std::uint32_t>(transitions_.size());
+    row_offsets_[static_cast<std::size_t>(s)] =
+        static_cast<std::uint32_t>(columns_.size());
     const State st = space_.state_at(s);
     auto add = [&](int to, double rate, TransitionKind kind) {
-      if (rate > 0.0) transitions_.push_back(Transition{s, to, rate, kind});
+      if (rate > 0.0) {
+        columns_.push_back(to);
+        rates_.push_back(rate);
+        kinds_.push_back(kind);
+        transitions_.push_back(Transition{s, to, rate, kind});
+      }
     };
 
     if (st == State{0, 0}) {
@@ -100,16 +112,16 @@ void TransitionModel::build() {
       }
     }
   }
-  first_out_[static_cast<std::size_t>(n)] =
-      static_cast<std::uint32_t>(transitions_.size());
+  row_offsets_[static_cast<std::size_t>(n)] =
+      static_cast<std::uint32_t>(columns_.size());
 }
 
 std::pair<const Transition*, const Transition*> TransitionModel::outgoing(
     int index) const {
   ETHSM_EXPECTS(index >= 0 && index < space_.size(), "state index out of range");
   const auto* base = transitions_.data();
-  return {base + first_out_[static_cast<std::size_t>(index)],
-          base + first_out_[static_cast<std::size_t>(index) + 1]};
+  return {base + row_offsets_[static_cast<std::size_t>(index)],
+          base + row_offsets_[static_cast<std::size_t>(index) + 1]};
 }
 
 }  // namespace ethsm::markov

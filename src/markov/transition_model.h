@@ -52,6 +52,13 @@ struct Transition {
 /// production rate after the Sec. IV-B time rescaling); at the truncation
 /// boundary the pool-extension transition self-loops, which is harmless
 /// because the boundary mass is ~alpha^max_lead.
+///
+/// Storage is CSR (compressed sparse row): row s owns the half-open entry
+/// range [row_offsets()[s], row_offsets()[s+1]) of the parallel column /
+/// rate / kind arrays. The power-iteration solver streams those arrays
+/// row-contiguously (structure-of-arrays: the rate sweep touches no kind
+/// bytes); the array-of-structs `transitions()` edge list is kept as the
+/// convenient view for the reward analysis and the tests.
 class TransitionModel {
  public:
   TransitionModel(const StateSpace& space, const MiningParams& params);
@@ -63,6 +70,24 @@ class TransitionModel {
   [[nodiscard]] std::pair<const Transition*, const Transition*> outgoing(
       int index) const;
 
+  /// CSR row offsets: size() + 1 entries; row s spans
+  /// [row_offsets()[s], row_offsets()[s+1]) of the arrays below.
+  [[nodiscard]] const std::vector<std::uint32_t>& row_offsets() const noexcept {
+    return row_offsets_;
+  }
+  /// CSR column (target-state) indices, aligned with rates()/kinds().
+  [[nodiscard]] const std::vector<std::int32_t>& columns() const noexcept {
+    return columns_;
+  }
+  /// CSR transition rates, aligned with columns().
+  [[nodiscard]] const std::vector<double>& rates() const noexcept {
+    return rates_;
+  }
+  /// CSR transition kinds, aligned with columns().
+  [[nodiscard]] const std::vector<TransitionKind>& kinds() const noexcept {
+    return kinds_;
+  }
+
   [[nodiscard]] const StateSpace& space() const noexcept { return space_; }
   [[nodiscard]] const MiningParams& params() const noexcept { return params_; }
 
@@ -71,8 +96,13 @@ class TransitionModel {
 
   const StateSpace& space_;
   MiningParams params_;
+  // CSR storage (primary).
+  std::vector<std::uint32_t> row_offsets_;  ///< size() + 1 offsets
+  std::vector<std::int32_t> columns_;
+  std::vector<double> rates_;
+  std::vector<TransitionKind> kinds_;
+  // Edge-list view (same order as the CSR arrays).
   std::vector<Transition> transitions_;
-  std::vector<std::uint32_t> first_out_;  ///< size() + 1 offsets
 };
 
 }  // namespace ethsm::markov

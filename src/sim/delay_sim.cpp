@@ -8,6 +8,7 @@
 #include "chain/block_tree.h"
 #include "chain/uncle_index.h"
 #include "support/check.h"
+#include "support/parallel.h"
 #include "support/rng.h"
 
 namespace ethsm::sim {
@@ -54,7 +55,7 @@ DelaySimResult run_delay_simulation(const DelaySimConfig& config) {
   std::vector<double> cumulative(shares.size());
   std::partial_sum(shares.begin(), shares.end(), cumulative.begin());
 
-  chain::BlockTree tree(config.num_blocks + 1);
+  chain::BlockTree& tree = chain::thread_local_tree(config.num_blocks + 1);
   support::Xoshiro256 rng(config.seed);
 
   // Reveal queue: blocks become globally visible `delay` after creation.
@@ -150,4 +151,32 @@ DelaySimResult run_delay_simulation(const DelaySimConfig& config) {
   return result;
 }
 
+DelayMultiRunSummary run_delay_many(const DelaySimConfig& config, int runs) {
+  ETHSM_EXPECTS(runs > 0, "need at least one run");
+  config.validate();
+  const auto num_miners = config.effective_shares().size();
+
+  const auto results = support::parallel_map(
+      static_cast<std::size_t>(runs), [&config](std::size_t r) {
+        DelaySimConfig run_config = config;
+        run_config.seed =
+            support::derive_seed(config.seed, static_cast<std::uint64_t>(r));
+        return run_delay_simulation(run_config);
+      });
+
+  DelayMultiRunSummary summary;
+  summary.per_miner_stale_fraction.resize(num_miners);
+  for (const DelaySimResult& r : results) {
+    summary.uncle_rate.add(r.uncle_rate());
+    summary.stale_rate.add(r.stale_rate());
+    summary.duration.add(r.duration);
+    for (std::size_t m = 0; m < num_miners; ++m) {
+      summary.per_miner_stale_fraction[m].add(r.per_miner_stale_fraction[m]);
+    }
+    ++summary.runs;
+  }
+  return summary;
+}
+
 }  // namespace ethsm::sim
+

@@ -26,6 +26,7 @@
 
 #include "chain/reward_ledger.h"
 #include "rewards/reward_schedule.h"
+#include "support/stats.h"
 
 namespace ethsm::sim {
 
@@ -61,6 +62,23 @@ struct DelaySimResult {
 
 /// Runs the all-honest delay network; deterministic given the seed.
 [[nodiscard]] DelaySimResult run_delay_simulation(const DelaySimConfig& config);
+
+/// Mean/CI aggregation across independent delay-network runs.
+struct DelayMultiRunSummary {
+  support::RunningStats uncle_rate;
+  support::RunningStats stale_rate;
+  support::RunningStats duration;
+  /// Per-miner stale-fraction stats across runs (Sec. VI centralization:
+  /// larger hash shares waste a smaller fraction of their blocks).
+  std::vector<support::RunningStats> per_miner_stale_fraction;
+  int runs = 0;
+};
+
+/// Runs `runs` independent delay simulations (seeds derived from config.seed)
+/// in parallel on the global thread pool and aggregates in run order; the
+/// summary is bitwise-identical for any thread count.
+[[nodiscard]] DelayMultiRunSummary run_delay_many(const DelaySimConfig& config,
+                                                  int runs);
 
 }  // namespace ethsm::sim
 

@@ -6,6 +6,7 @@
 #include "miner/honest_policy.h"
 #include "miner/selfish_policy.h"
 #include "support/check.h"
+#include "support/parallel.h"
 #include "support/rng.h"
 
 namespace ethsm::sim {
@@ -54,7 +55,7 @@ PopulationResult run_population_simulation(const PopulationConfig& config) {
   const std::uint32_t n = config.num_miners;
   const std::uint32_t pool_size = config.pool_size();
 
-  chain::BlockTree tree(base.num_blocks + 1);
+  chain::BlockTree& tree = chain::thread_local_tree(base.num_blocks + 1);
   miner::SelfishPolicyConfig pool_cfg =
       miner::SelfishPolicyConfig::from_rewards(base.rewards);
   pool_cfg.pool_miner_id = 0;  // rewards are split across members afterwards
@@ -119,6 +120,29 @@ PopulationResult run_population_simulation(const PopulationConfig& config) {
     }
   }
   return result;
+}
+
+PopulationMultiRunSummary run_population_many(const PopulationConfig& config,
+                                              int runs) {
+  ETHSM_EXPECTS(runs > 0, "need at least one run");
+  config.validate();
+
+  const auto results = support::parallel_map(
+      static_cast<std::size_t>(runs), [&config](std::size_t r) {
+        PopulationConfig run_config = config;
+        run_config.base.seed = support::derive_seed(
+            config.base.seed, static_cast<std::uint64_t>(r));
+        return run_population_simulation(run_config);
+      });
+
+  PopulationMultiRunSummary summary;
+  summary.pool_size = config.pool_size();
+  summary.effective_alpha = config.effective_alpha();
+  for (const PopulationResult& r : results) {
+    summary.sim.absorb(r.sim);
+    summary.pool_member_share.add(r.pool_member_share());
+  }
+  return summary;
 }
 
 }  // namespace ethsm::sim

@@ -36,6 +36,20 @@ struct PopulationResult {
 [[nodiscard]] PopulationResult run_population_simulation(
     const PopulationConfig& config);
 
+/// Mean/CI aggregation across independent population runs.
+struct PopulationMultiRunSummary {
+  MultiRunSummary sim;
+  support::RunningStats pool_member_share;
+  std::uint32_t pool_size = 0;
+  double effective_alpha = 0.0;
+};
+
+/// Runs `runs` independent population simulations (seeds derived from
+/// config.base.seed) in parallel on the global thread pool and aggregates in
+/// run order; the summary is bitwise-identical for any thread count.
+[[nodiscard]] PopulationMultiRunSummary run_population_many(
+    const PopulationConfig& config, int runs);
+
 }  // namespace ethsm::sim
 
 #endif  // ETHSM_SIM_POPULATION_SIM_H

@@ -4,17 +4,25 @@
 #include "miner/honest_policy.h"
 #include "miner/selfish_policy.h"
 #include "support/check.h"
+#include "support/parallel.h"
 #include "support/rng.h"
 
 namespace ethsm::sim {
 
 namespace {
 
+/// Per-thread block-tree arena: every run resets it instead of reallocating
+/// ~100k nodes, so multi-run sweeps reuse capacity run after run. Results are
+/// unaffected (reset() restores the genesis-only state exactly).
+chain::BlockTree& scratch_tree(std::uint64_t num_blocks) {
+  return chain::thread_local_tree(num_blocks + 1);
+}
+
 /// Control run: everybody (including the pool's hash power) follows the
 /// protocol. With zero propagation delay there are no forks at all, so every
 /// block is regular and revenue share == hash share.
 SimResult run_all_honest(const SimConfig& config) {
-  chain::BlockTree tree(config.num_blocks + 1);
+  chain::BlockTree& tree = scratch_tree(config.num_blocks);
   miner::HonestPolicy honest(config.gamma, config.rewards);
   support::Xoshiro256 rng(config.seed);
 
@@ -48,7 +56,7 @@ SimResult run_simulation(const SimConfig& config) {
   config.validate();
   if (!config.pool_uses_selfish_strategy) return run_all_honest(config);
 
-  chain::BlockTree tree(config.num_blocks + 1);
+  chain::BlockTree& tree = scratch_tree(config.num_blocks);
   miner::SelfishPolicy pool(
       tree, miner::SelfishPolicyConfig::from_rewards(config.rewards));
   miner::HonestPolicy honest(config.gamma, config.rewards);
@@ -81,13 +89,22 @@ SimResult run_simulation(const SimConfig& config) {
 
 MultiRunSummary run_many(const SimConfig& config, int runs) {
   ETHSM_EXPECTS(runs > 0, "need at least one run");
+  config.validate();
+
+  // Fan the runs out across the pool. Each run is a pure function of its
+  // index (seed = derive_seed(master, index)) and the summary is absorbed in
+  // index order afterwards, so the aggregate is bitwise-identical for any
+  // thread count -- see support/parallel.h.
+  const auto results = support::parallel_map(
+      static_cast<std::size_t>(runs), [&config](std::size_t r) {
+        SimConfig run_config = config;
+        run_config.seed =
+            support::derive_seed(config.seed, static_cast<std::uint64_t>(r));
+        return run_simulation(run_config);
+      });
+
   MultiRunSummary summary;
-  for (int r = 0; r < runs; ++r) {
-    SimConfig run_config = config;
-    run_config.seed = support::derive_seed(config.seed,
-                                           static_cast<std::uint64_t>(r));
-    summary.absorb(run_simulation(run_config));
-  }
+  for (const SimResult& r : results) summary.absorb(r);
   return summary;
 }
 
@@ -97,7 +114,7 @@ SimResult run_stubborn_simulation(const SimConfig& config,
   ETHSM_EXPECTS(config.pool_uses_selfish_strategy,
                 "stubborn variants require an attacking pool");
 
-  chain::BlockTree tree(config.num_blocks + 1);
+  chain::BlockTree& tree = scratch_tree(config.num_blocks);
   miner::StubbornConfig pool_config = strategy;
   pool_config.reference_horizon = config.rewards.reference_horizon();
   pool_config.max_uncles_per_block = config.rewards.max_uncles_per_block;
@@ -131,13 +148,20 @@ MultiRunSummary run_stubborn_many(const SimConfig& config,
                                   const miner::StubbornConfig& strategy,
                                   int runs) {
   ETHSM_EXPECTS(runs > 0, "need at least one run");
+  config.validate();
+  ETHSM_EXPECTS(config.pool_uses_selfish_strategy,
+                "stubborn variants require an attacking pool");
+
+  const auto results = support::parallel_map(
+      static_cast<std::size_t>(runs), [&config, &strategy](std::size_t r) {
+        SimConfig run_config = config;
+        run_config.seed =
+            support::derive_seed(config.seed, static_cast<std::uint64_t>(r));
+        return run_stubborn_simulation(run_config, strategy);
+      });
+
   MultiRunSummary summary;
-  for (int r = 0; r < runs; ++r) {
-    SimConfig run_config = config;
-    run_config.seed = support::derive_seed(config.seed,
-                                           static_cast<std::uint64_t>(r));
-    summary.absorb(run_stubborn_simulation(run_config, strategy));
-  }
+  for (const SimResult& r : results) summary.absorb(r);
   return summary;
 }
 

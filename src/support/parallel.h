@@ -1,0 +1,43 @@
+// parallel_for / parallel_map on the process-wide thread pool.
+//
+// Determinism contract (relied on by run_many, revenue_curve & friends):
+// jobs are pure functions of their index, results land in an index-ordered
+// vector, and any order-sensitive reduction is the caller's to perform
+// serially afterwards. Under that discipline every aggregate is
+// bitwise-identical whether the pool has 1 thread or 64.
+
+#ifndef ETHSM_SUPPORT_PARALLEL_H
+#define ETHSM_SUPPORT_PARALLEL_H
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "support/thread_pool.h"
+
+namespace ethsm::support {
+
+/// Runs fn(i) for every i in [0, n) on the global pool; blocks until done.
+template <typename F>
+void parallel_for(std::size_t n, F&& fn) {
+  ThreadPool::global().for_each_index(n, std::forward<F>(fn));
+}
+
+/// Maps i -> fn(i) into a vector with results at their job index. The result
+/// type must be default-constructible (job slots are pre-allocated so no
+/// synchronisation is needed on the output).
+template <typename F>
+[[nodiscard]] auto parallel_map(std::size_t n, F&& fn) {
+  using Result = std::decay_t<std::invoke_result_t<F&, std::size_t>>;
+  static_assert(std::is_default_constructible_v<Result>,
+                "parallel_map pre-allocates result slots");
+  std::vector<Result> results(n);
+  ThreadPool::global().for_each_index(
+      n, [&](std::size_t i) { results[i] = fn(i); });
+  return results;
+}
+
+}  // namespace ethsm::support
+
+#endif  // ETHSM_SUPPORT_PARALLEL_H

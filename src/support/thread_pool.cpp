@@ -1,0 +1,145 @@
+#include "support/thread_pool.h"
+
+#include <cstdlib>
+#include <memory>
+
+#include "support/check.h"
+
+namespace ethsm::support {
+
+namespace {
+
+/// True on threads currently executing a pool job; nested regions run inline.
+thread_local bool t_inside_pool_job = false;
+
+std::mutex g_global_mutex;
+std::unique_ptr<ThreadPool> g_global_pool;  // guarded by g_global_mutex
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned threads)
+    : concurrency_(threads == 0 ? 1 : threads) {
+  workers_.reserve(concurrency_ - 1);
+  for (unsigned i = 0; i + 1 < concurrency_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::size_t ThreadPool::drain(Region& region) {
+  t_inside_pool_job = true;
+  std::size_t completed = 0;
+  for (;;) {
+    const std::size_t i =
+        region.next_index.fetch_add(1, std::memory_order_relaxed);
+    if (i >= region.size) break;
+    try {
+      region.fn(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!region.first_error) region.first_error = std::current_exception();
+    }
+    ++completed;
+  }
+  t_inside_pool_job = false;
+  return completed;
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    std::shared_ptr<Region> region;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || (region_ != nullptr && epoch_ != seen_epoch);
+      });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      region = region_;
+    }
+
+    // A stale snapshot (the region finished while this thread was between
+    // the wait and here) is harmless: its ticket counter is exhausted, so
+    // the loop below exits at once with zero completions.
+    const std::size_t completed = drain(*region);
+    if (completed > 0) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      region->remaining -= completed;
+      if (region->remaining == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_region(std::size_t n,
+                            const std::function<void(std::size_t)>& fn) {
+  auto region = std::make_shared<Region>();
+  region->fn = fn;  // copied so stragglers can never observe a dead callable
+  region->size = n;
+  region->remaining = n;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    region_ = region;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+
+  // The caller drains tickets alongside the workers.
+  const std::size_t completed = drain(*region);
+
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    region->remaining -= completed;
+    done_cv_.wait(lock, [&] { return region->remaining == 0; });
+    if (region_ == region) region_.reset();
+    error = region->first_error;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::for_each_index(std::size_t n,
+                                const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1 || concurrency_ == 1 || t_inside_pool_job) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  run_region(n, fn);
+}
+
+unsigned ThreadPool::default_concurrency() {
+  if (const char* env = std::getenv("ETHSM_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) {
+      return static_cast<unsigned>(parsed);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard<std::mutex> lock(g_global_mutex);
+  if (!g_global_pool) {
+    g_global_pool = std::make_unique<ThreadPool>(default_concurrency());
+  }
+  return *g_global_pool;
+}
+
+void ThreadPool::set_global_concurrency(unsigned threads) {
+  ETHSM_EXPECTS(threads > 0, "thread pool needs at least the caller thread");
+  std::lock_guard<std::mutex> lock(g_global_mutex);
+  g_global_pool = std::make_unique<ThreadPool>(threads);
+}
+
+}  // namespace ethsm::support

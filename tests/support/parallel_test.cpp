@@ -1,0 +1,141 @@
+#include "support/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "support/thread_pool.h"
+
+namespace ethsm::support {
+namespace {
+
+/// Restores the default global pool after each test so the suite's other
+/// tests never observe a leftover thread count.
+class ParallelTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    ThreadPool::set_global_concurrency(ThreadPool::default_concurrency());
+  }
+};
+
+TEST_F(ParallelTest, CoversEveryIndexExactlyOnce) {
+  for (unsigned threads : {1u, 2u, 5u}) {
+    ThreadPool::set_global_concurrency(threads);
+    constexpr std::size_t kJobs = 1000;
+    std::vector<std::atomic<int>> hits(kJobs);
+    parallel_for(kJobs, [&](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < kJobs; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << ", " << threads
+                                   << " threads";
+    }
+  }
+}
+
+TEST_F(ParallelTest, MapKeepsResultsAtTheirIndex) {
+  ThreadPool::set_global_concurrency(4);
+  const auto squares =
+      parallel_map(257, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(squares.size(), 257u);
+  for (std::size_t i = 0; i < squares.size(); ++i) {
+    EXPECT_EQ(squares[i], i * i);
+  }
+}
+
+TEST_F(ParallelTest, ZeroAndOneJobRunInline) {
+  ThreadPool::set_global_concurrency(4);
+  int calls = 0;
+  parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(1, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(ParallelTest, PropagatesTheFirstException) {
+  ThreadPool::set_global_concurrency(4);
+  EXPECT_THROW(
+      parallel_for(64,
+                   [](std::size_t i) {
+                     if (i % 7 == 3) throw std::runtime_error("job failed");
+                   }),
+      std::runtime_error);
+  // The pool must stay usable after a throwing region.
+  std::atomic<int> ok{0};
+  parallel_for(16, [&](std::size_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 16);
+}
+
+TEST_F(ParallelTest, NestedRegionsRunInlineWithoutDeadlock) {
+  ThreadPool::set_global_concurrency(4);
+  std::atomic<int> total{0};
+  parallel_for(8, [&](std::size_t) {
+    // A parallel region inside a pool job must not dispatch back to the pool
+    // (deadlock risk); it runs serially on the current worker.
+    parallel_for(8, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST_F(ParallelTest, BackToBackRegionsStaySane) {
+  // Regression: a worker descheduled between the region wake-up and its
+  // first ticket claim must not leak into the next region's accounting
+  // (stale-snapshot race). Hammer consecutive tiny regions to give such
+  // stragglers every chance to straddle a boundary.
+  ThreadPool::set_global_concurrency(4);
+  for (std::size_t round = 0; round < 500; ++round) {
+    const auto r = parallel_map(
+        8, [round](std::size_t i) { return round * 100 + i; });
+    ASSERT_EQ(r.size(), 8u);
+    for (std::size_t i = 0; i < 8; ++i) {
+      ASSERT_EQ(r[i], round * 100 + i) << "round " << round;
+    }
+  }
+}
+
+TEST_F(ParallelTest, ReductionIsIdenticalAcrossThreadCounts) {
+  // The library's determinism contract in miniature: map to an index-ordered
+  // vector, reduce serially.
+  auto reduce = [](unsigned threads) {
+    ThreadPool::set_global_concurrency(threads);
+    const auto parts = parallel_map(
+        100, [](std::size_t i) { return 1.0 / (1.0 + static_cast<double>(i)); });
+    return std::accumulate(parts.begin(), parts.end(), 0.0);
+  };
+  const double serial = reduce(1);
+  EXPECT_EQ(serial, reduce(3));
+  EXPECT_EQ(serial, reduce(8));
+}
+
+TEST(ThreadPool, HonoursExplicitConcurrency) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.concurrency(), 3u);
+  std::atomic<int> hits{0};
+  pool.for_each_index(10, [&](std::size_t) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 10);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.concurrency(), 1u);
+}
+
+TEST(ThreadPool, DefaultConcurrencyReadsEnvVar) {
+  ASSERT_EQ(setenv("ETHSM_THREADS", "3", 1), 0);
+  EXPECT_EQ(ThreadPool::default_concurrency(), 3u);
+  ASSERT_EQ(setenv("ETHSM_THREADS", "not-a-number", 1), 0);
+  EXPECT_GE(ThreadPool::default_concurrency(), 1u);  // falls back to hardware
+  ASSERT_EQ(unsetenv("ETHSM_THREADS"), 0);
+  EXPECT_GE(ThreadPool::default_concurrency(), 1u);
+}
+
+TEST(ThreadPool, RejectsZeroGlobalConcurrency) {
+  EXPECT_THROW(ThreadPool::set_global_concurrency(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ethsm::support
