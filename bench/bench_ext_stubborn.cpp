@@ -11,6 +11,7 @@
 
 #include "analysis/absolute_revenue.h"
 #include "sim/simulator.h"
+#include "support/checkpoint.h"
 #include "support/csv.h"
 #include "support/table.h"
 #include "support/thread_pool.h"
@@ -34,7 +35,8 @@ ethsm::miner::StubbornConfig make(bool lead, bool fork, int trail) {
 
 int main(int argc, char** argv) {
   using ethsm::support::TextTable;
-  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const auto cli = ethsm::support::parse_sweep_cli(argc, argv);
+  const bool quick = cli.quick;
 
   std::cout << "== Extension: stubborn mining in Ethereum "
                "(gamma = 0.5, Byzantium, scenario 1) ==\n"
@@ -57,6 +59,7 @@ int main(int argc, char** argv) {
 
   const int runs = quick ? 3 : 6;
   const std::uint64_t blocks = quick ? 30'000 : 100'000;
+  ethsm::support::SweepOutcome outcome;
 
   for (double alpha : {0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45}) {
     ethsm::sim::SimConfig config;
@@ -71,8 +74,8 @@ int main(int argc, char** argv) {
     double best = -1.0;
     std::size_t best_idx = 0;
     for (std::size_t i = 0; i < variants.size(); ++i) {
-      const auto summary =
-          ethsm::sim::run_stubborn_many(config, variants[i].config, runs);
+      const auto summary = ethsm::sim::run_stubborn_many(
+          config, variants[i].config, runs, cli.checkpoint, &outcome);
       const double us = summary
                             .pool_revenue(
                                 ethsm::sim::Scenario::regular_rate_one)
@@ -87,6 +90,10 @@ int main(int argc, char** argv) {
     row.emplace_back(variants[best_idx].label);
     table.add_row(std::move(row));
     csv.add_row(csv_row);
+  }
+  if (!ethsm::support::report_sweep_progress(std::cout, cli.checkpoint,
+                                             outcome)) {
+    return 0;
   }
   table.print(std::cout);
 

@@ -11,13 +11,14 @@
 #include <iostream>
 
 #include "analysis/sweep.h"
+#include "support/checkpoint.h"
 #include "support/csv.h"
 #include "support/table.h"
 #include "support/thread_pool.h"
 
 int main(int argc, char** argv) {
   using ethsm::support::TextTable;
-  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const auto cli = ethsm::support::parse_sweep_cli(argc, argv);
 
   std::cout << "== Fig. 10: profitability threshold vs gamma (Ku(.)) ==\n"
             << "   sweep threads: "
@@ -25,11 +26,17 @@ int main(int argc, char** argv) {
             << " (override with ETHSM_THREADS)\n\n";
 
   ethsm::analysis::ThresholdCurveOptions opt;
-  if (quick) {
+  if (cli.quick) {
     opt.gammas = {0.0, 0.25, 0.5, 0.75, 1.0};
     opt.threshold.tolerance = 1e-4;
   }
-  const auto curve = ethsm::analysis::threshold_curve(opt);
+  opt.checkpoint = cli.checkpoint;
+  ethsm::support::SweepOutcome outcome;
+  const auto curve = ethsm::analysis::threshold_curve(opt, &outcome);
+  if (!ethsm::support::report_sweep_progress(std::cout, cli.checkpoint,
+                                             outcome)) {
+    return 0;
+  }
 
   TextTable table({"gamma", "Bitcoin (Eyal-Sirer)", "Ethereum scenario 1",
                    "Ethereum scenario 2", "scn1 vs BTC", "scn2 vs BTC"});

@@ -8,13 +8,14 @@
 #include <iostream>
 
 #include "analysis/sweep.h"
+#include "support/checkpoint.h"
 #include "support/csv.h"
 #include "support/table.h"
 #include "support/thread_pool.h"
 
 int main(int argc, char** argv) {
   using ethsm::support::TextTable;
-  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const auto cli = ethsm::support::parse_sweep_cli(argc, argv);
 
   std::cout << "== Fig. 8: revenue vs alpha (gamma = 0.5, Ku = 4/8 Ks) ==\n"
             << "   sweep threads: "
@@ -25,9 +26,15 @@ int main(int argc, char** argv) {
   opt.gamma = 0.5;
   opt.rewards = ethsm::rewards::RewardConfig::ethereum_flat(0.5);
   opt.scenario = ethsm::analysis::Scenario::regular_rate_one;
-  opt.sim_runs = quick ? 3 : 10;          // paper: average of 10 runs
-  opt.sim_blocks = quick ? 20'000 : 100'000;  // paper: 100,000 blocks per run
-  const auto curve = ethsm::analysis::revenue_curve(opt);
+  opt.sim_runs = cli.quick ? 3 : 10;      // paper: average of 10 runs
+  opt.sim_blocks = cli.quick ? 20'000 : 100'000;  // paper: 100,000 per run
+  opt.checkpoint = cli.checkpoint;
+  ethsm::support::SweepOutcome outcome;
+  const auto curve = ethsm::analysis::revenue_curve(opt, &outcome);
+  if (!ethsm::support::report_sweep_progress(std::cout, cli.checkpoint,
+                                             outcome)) {
+    return 0;
+  }
 
   TextTable table({"alpha", "honest mining", "Us (analysis)", "Us (sim)",
                    "+-95%", "Uh (analysis)", "Uh (sim)", "+-95%"});

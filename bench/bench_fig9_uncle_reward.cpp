@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "analysis/sweep.h"
+#include "support/checkpoint.h"
 #include "support/csv.h"
 #include "support/table.h"
 #include "support/thread_pool.h"
@@ -27,10 +28,11 @@ struct Series {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using ethsm::analysis::Scenario;
   using ethsm::support::TextTable;
   using ethsm::rewards::RewardConfig;
+  const auto cli = ethsm::support::parse_sweep_cli(argc, argv);
 
   std::cout << "== Fig. 9: revenue under different uncle rewards "
                "(gamma = 0.5) ==\n"
@@ -56,13 +58,29 @@ int main() {
        "total_byz"});
 
   std::vector<std::vector<ethsm::analysis::RevenuePoint>> curves;
+  ethsm::support::SweepOutcome outcome;
   for (const auto& s : series) {
     ethsm::analysis::RevenueCurveOptions opt;
     opt.gamma = 0.5;
     opt.rewards = s.config;
     opt.scenario = Scenario::regular_rate_one;
     opt.max_lead = 120;
-    curves.push_back(ethsm::analysis::revenue_curve(opt));
+    opt.checkpoint = cli.checkpoint;
+    curves.push_back(ethsm::analysis::revenue_curve(opt, &outcome));
+  }
+  // Ablation series (used at the end): computed up front so the partial-
+  // sweep gate below covers every checkpointed job of this regenerator.
+  ethsm::analysis::RevenueCurveOptions capped;
+  capped.gamma = 0.5;
+  capped.rewards = RewardConfig::ethereum_flat(7.0 / 8.0);  // horizon 6
+  capped.alphas = {0.45};
+  capped.max_lead = 120;
+  capped.checkpoint = cli.checkpoint;
+  const auto capped_curve = ethsm::analysis::revenue_curve(capped, &outcome);
+
+  if (!ethsm::support::report_sweep_progress(std::cout, cli.checkpoint,
+                                             outcome)) {
+    return 0;
   }
 
   for (std::size_t i = 0; i < curves[0].size(); ++i) {
@@ -90,12 +108,6 @@ int main() {
             << TextTable::pct(last78.total_revenue)
             << "   (paper: soars to 135%)\n";
 
-  ethsm::analysis::RevenueCurveOptions capped;
-  capped.gamma = 0.5;
-  capped.rewards = RewardConfig::ethereum_flat(7.0 / 8.0);  // horizon 6
-  capped.alphas = {0.45};
-  capped.max_lead = 120;
-  const auto capped_curve = ethsm::analysis::revenue_curve(capped);
   std::cout << "Ablation -- same with Ethereum's distance cap of 6: "
             << TextTable::pct(capped_curve[0].total_revenue) << "\n";
 

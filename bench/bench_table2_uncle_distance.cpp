@@ -7,13 +7,15 @@
 
 #include "analysis/uncle_distance.h"
 #include "sim/simulator.h"
+#include "support/checkpoint.h"
 #include "support/csv.h"
 #include "support/table.h"
 #include "support/thread_pool.h"
 
 int main(int argc, char** argv) {
   using ethsm::support::TextTable;
-  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const auto cli = ethsm::support::parse_sweep_cli(argc, argv);
+  const bool quick = cli.quick;
 
   std::cout << "== Table II: honest uncles' referencing distances "
                "(gamma = 0.5) ==\n"
@@ -32,16 +34,21 @@ int main(int argc, char** argv) {
   const auto d45 =
       ethsm::analysis::honest_uncle_distance_distribution({0.45, 0.5}, 120);
 
+  ethsm::support::SweepOutcome outcome;
   auto simulate = [&](double alpha) {
     ethsm::sim::SimConfig sc;
     sc.alpha = alpha;
     sc.gamma = 0.5;
     sc.num_blocks = quick ? 50'000 : 100'000;
     sc.seed = 0x7ab1e2;
-    return ethsm::sim::run_many(sc, quick ? 3 : 10);
+    return ethsm::sim::run_many(sc, quick ? 3 : 10, cli.checkpoint, &outcome);
   };
   const auto s30 = simulate(0.3);
   const auto s45 = simulate(0.45);
+  if (!ethsm::support::report_sweep_progress(std::cout, cli.checkpoint,
+                                             outcome)) {
+    return 0;
+  }
 
   for (int d = 1; d <= 6; ++d) {
     const double sim30 = s30.uncle_distance_honest.conditional_fraction(

@@ -28,15 +28,30 @@ std::uint64_t point_seed(const RevenueCurveOptions& options, double alpha) {
                               static_cast<std::uint64_t>(alpha * 1e6));
 }
 
+void mix_grid(support::Fingerprint& fp, const std::vector<double>& grid) {
+  fp.mix(static_cast<std::uint64_t>(grid.size()));
+  for (double x : grid) fp.mix(x);
+}
+
 }  // namespace
 
-std::vector<RevenuePoint> revenue_curve(const RevenueCurveOptions& options) {
+std::vector<RevenuePoint> revenue_curve(const RevenueCurveOptions& options,
+                                        support::SweepOutcome* outcome) {
   const std::vector<double> alphas =
       options.alphas.empty() ? fig8_alpha_grid() : options.alphas;
 
   // Markov analysis: one independent job per alpha.
-  std::vector<RevenuePoint> curve =
-      support::parallel_map(alphas.size(), [&](std::size_t i) {
+  support::Fingerprint markov_fp;
+  markov_fp.mix("revenue_curve/markov/v1");
+  markov_fp.mix(options.gamma);
+  markov_fp.mix(rewards::sweep_fingerprint(options.rewards));
+  markov_fp.mix(static_cast<int>(options.scenario));
+  markov_fp.mix(options.max_lead);
+  mix_grid(markov_fp, alphas);
+
+  const auto markov = support::run_checkpointed<RevenuePoint>(
+      options.checkpoint, markov_fp.digest(), alphas.size(),
+      [&](std::size_t i) {
         const double alpha = alphas[i];
         RevenuePoint point;
         point.alpha = alpha;
@@ -53,11 +68,26 @@ std::vector<RevenuePoint> revenue_curve(const RevenueCurveOptions& options) {
         return point;
       });
 
+  std::vector<RevenuePoint> curve(alphas.size());
+  for (std::size_t i = 0; i < alphas.size(); ++i) {
+    if (markov.have[i]) {
+      curve[i] = markov.results[i];
+    } else {
+      curve[i].alpha = alphas[i];  // grid position even without a result
+    }
+  }
+
+  bool complete = markov.complete();
+  support::SweepOutcome combined = markov.outcome;
+
   // Monte-Carlo cross-checks: fan out over (alpha x run) jobs, the finest
   // granularity available, so a 19-alpha x 10-run sweep keeps every core
   // busy. Per-run seeds replicate the serial run_many chain exactly and the
   // per-point aggregation below absorbs in run order, so the curve is
-  // bitwise-identical for any thread count.
+  // bitwise-identical for any thread count -- and, checkpointed, across
+  // resume/shard splits. The sim fingerprint excludes the scenario: per-run
+  // results do not depend on it (it only weighs the aggregation), so records
+  // are shared across scenario changes.
   if (options.sim_runs > 0) {
     struct SimJob {
       std::size_t point_index = 0;
@@ -70,24 +100,43 @@ std::vector<RevenuePoint> revenue_curve(const RevenueCurveOptions& options) {
       for (int r = 0; r < options.sim_runs; ++r) jobs.push_back({i, r});
     }
 
-    const auto sims = support::parallel_map(jobs.size(), [&](std::size_t j) {
-      const SimJob& job = jobs[j];
-      sim::SimConfig sim_config;
-      sim_config.alpha = alphas[job.point_index];
-      sim_config.gamma = options.gamma;
-      sim_config.rewards = options.rewards;
-      sim_config.num_blocks = options.sim_blocks;
-      sim_config.seed = support::derive_seed(
-          point_seed(options, alphas[job.point_index]),
-          static_cast<std::uint64_t>(job.run));
-      return sim::run_simulation(sim_config);
-    });
+    support::Fingerprint sim_fp;
+    sim_fp.mix("revenue_curve/sim/v1");
+    sim_fp.mix(options.gamma);
+    sim_fp.mix(rewards::sweep_fingerprint(options.rewards));
+    sim_fp.mix(options.sim_runs);
+    sim_fp.mix(options.sim_blocks);
+    sim_fp.mix(options.sim_seed);
+    mix_grid(sim_fp, alphas);
 
+    const auto sims = support::run_checkpointed<sim::SimResult>(
+        options.checkpoint, sim_fp.digest(), jobs.size(), [&](std::size_t j) {
+          const SimJob& job = jobs[j];
+          sim::SimConfig sim_config;
+          sim_config.alpha = alphas[job.point_index];
+          sim_config.gamma = options.gamma;
+          sim_config.rewards = options.rewards;
+          sim_config.num_blocks = options.sim_blocks;
+          sim_config.seed = support::derive_seed(
+              point_seed(options, alphas[job.point_index]),
+              static_cast<std::uint64_t>(job.run));
+          return sim::run_simulation(sim_config);
+        });
+
+    // A point's simulation columns are filled only when every one of its
+    // runs is present (absorbed in run order); with a partial shard they stay
+    // nullopt until the merge run sees all shards' records.
     std::size_t j = 0;
     for (std::size_t i = 0; i < alphas.size(); ++i) {
       if (alphas[i] <= 0.0) continue;
+      const std::size_t first = j;
+      bool all_present = true;
+      for (int r = 0; r < options.sim_runs; ++r) {
+        if (!sims.have[j++]) all_present = false;
+      }
+      if (!all_present) continue;
       sim::MultiRunSummary sum;
-      for (int r = 0; r < options.sim_runs; ++r) sum.absorb(sims[j++]);
+      for (std::size_t k = first; k < j; ++k) sum.absorb(sims.results[k]);
       RevenuePoint& point = curve[i];
       point.pool_revenue_sim = sum.pool_revenue(options.scenario).mean();
       point.honest_revenue_sim = sum.honest_revenue(options.scenario).mean();
@@ -96,31 +145,129 @@ std::vector<RevenuePoint> revenue_curve(const RevenueCurveOptions& options) {
       point.honest_revenue_sim_ci =
           sum.honest_revenue(options.scenario).ci_halfwidth();
     }
-    ETHSM_ENSURES(j == sims.size(), "sim job accounting mismatch");
+    ETHSM_ENSURES(j == sims.results.size(), "sim job accounting mismatch");
+    complete = complete && sims.complete();
+    combined.merge(sims.outcome);
   }
+
+  ETHSM_EXPECTS(outcome != nullptr || complete,
+                "incomplete sharded/budgeted sweep: pass a SweepOutcome to "
+                "consume partial curves");
+  if (outcome != nullptr) outcome->merge(combined);
   return curve;
 }
 
-std::vector<ThresholdPoint> threshold_curve(
-    const ThresholdCurveOptions& options) {
+std::vector<ThresholdPoint> threshold_curve(const ThresholdCurveOptions& options,
+                                            support::SweepOutcome* outcome) {
   const std::vector<double> gammas =
       options.gammas.empty() ? fig10_gamma_grid() : options.gammas;
 
+  support::Fingerprint fp;
+  fp.mix("threshold_curve/v1");
+  fp.mix(rewards::sweep_fingerprint(options.rewards));
+  fp.mix(options.threshold.alpha_min);
+  fp.mix(options.threshold.alpha_max);
+  fp.mix(options.threshold.tolerance);
+  fp.mix(options.threshold.max_lead);
+  mix_grid(fp, gammas);
+
   // One job per gamma; each runs two bisections (both difficulty scenarios)
   // that share nothing across gammas.
-  return support::parallel_map(gammas.size(), [&](std::size_t i) {
-    const double gamma = gammas[i];
-    ThresholdPoint point;
-    point.gamma = gamma;
-    point.bitcoin = eyal_sirer_threshold(gamma);
-    point.ethereum_scenario1 = profitability_threshold(
-        gamma, options.rewards, Scenario::regular_rate_one, options.threshold);
-    point.ethereum_scenario2 =
-        profitability_threshold(gamma, options.rewards,
-                                Scenario::regular_and_uncle_rate_one,
-                                options.threshold);
-    return point;
-  });
+  const auto sweep = support::run_checkpointed<ThresholdPoint>(
+      options.checkpoint, fp.digest(), gammas.size(), [&](std::size_t i) {
+        const double gamma = gammas[i];
+        ThresholdPoint point;
+        point.gamma = gamma;
+        point.bitcoin = eyal_sirer_threshold(gamma);
+        point.ethereum_scenario1 =
+            profitability_threshold(gamma, options.rewards,
+                                    Scenario::regular_rate_one,
+                                    options.threshold);
+        point.ethereum_scenario2 =
+            profitability_threshold(gamma, options.rewards,
+                                    Scenario::regular_and_uncle_rate_one,
+                                    options.threshold);
+        return point;
+      });
+  ETHSM_EXPECTS(outcome != nullptr || sweep.complete(),
+                "incomplete sharded/budgeted sweep: pass a SweepOutcome to "
+                "consume partial curves");
+
+  std::vector<ThresholdPoint> curve(gammas.size());
+  for (std::size_t i = 0; i < gammas.size(); ++i) {
+    if (sweep.have[i]) {
+      curve[i] = sweep.results[i];
+    } else {
+      curve[i].gamma = gammas[i];
+    }
+  }
+  if (outcome != nullptr) outcome->merge(sweep.outcome);
+  return curve;
 }
 
 }  // namespace ethsm::analysis
+
+namespace ethsm::support {
+
+namespace {
+
+void put_optional(ByteWriter& w, const std::optional<double>& v) {
+  w.boolean(v.has_value());
+  w.f64(v.value_or(0.0));
+}
+
+std::optional<double> take_optional(ByteReader& r) {
+  const bool has = r.boolean();
+  const double value = r.f64();
+  return has ? std::optional<double>(value) : std::nullopt;
+}
+
+}  // namespace
+
+void CheckpointCodec<analysis::RevenuePoint>::encode(
+    ByteWriter& w, const analysis::RevenuePoint& point) {
+  w.f64(point.alpha);
+  w.f64(point.pool_revenue);
+  w.f64(point.honest_revenue);
+  w.f64(point.total_revenue);
+  w.f64(point.uncle_rate);
+  put_optional(w, point.pool_revenue_sim);
+  put_optional(w, point.honest_revenue_sim);
+  put_optional(w, point.pool_revenue_sim_ci);
+  put_optional(w, point.honest_revenue_sim_ci);
+}
+
+analysis::RevenuePoint CheckpointCodec<analysis::RevenuePoint>::decode(
+    ByteReader& r) {
+  analysis::RevenuePoint point;
+  point.alpha = r.f64();
+  point.pool_revenue = r.f64();
+  point.honest_revenue = r.f64();
+  point.total_revenue = r.f64();
+  point.uncle_rate = r.f64();
+  point.pool_revenue_sim = take_optional(r);
+  point.honest_revenue_sim = take_optional(r);
+  point.pool_revenue_sim_ci = take_optional(r);
+  point.honest_revenue_sim_ci = take_optional(r);
+  return point;
+}
+
+void CheckpointCodec<analysis::ThresholdPoint>::encode(
+    ByteWriter& w, const analysis::ThresholdPoint& point) {
+  w.f64(point.gamma);
+  w.f64(point.bitcoin);
+  put_optional(w, point.ethereum_scenario1);
+  put_optional(w, point.ethereum_scenario2);
+}
+
+analysis::ThresholdPoint CheckpointCodec<analysis::ThresholdPoint>::decode(
+    ByteReader& r) {
+  analysis::ThresholdPoint point;
+  point.gamma = r.f64();
+  point.bitcoin = r.f64();
+  point.ethereum_scenario1 = take_optional(r);
+  point.ethereum_scenario2 = take_optional(r);
+  return point;
+}
+
+}  // namespace ethsm::support

@@ -10,6 +10,7 @@
 #include "analysis/absolute_revenue.h"
 #include "analysis/threshold.h"
 #include "sim/simulator.h"
+#include "support/checkpoint.h"
 
 namespace ethsm::analysis {
 
@@ -37,11 +38,22 @@ struct RevenueCurveOptions {
   int sim_runs = 0;
   std::uint64_t sim_blocks = 100'000;
   std::uint64_t sim_seed = 0x5e1f15ULL;
+  /// Resume/shard persistence (support/checkpoint.h); disabled when the
+  /// directory is empty. The Markov and simulation layers checkpoint under
+  /// separate fingerprints in the same directory.
+  support::SweepCheckpoint checkpoint;
 };
 
 /// Revenue curves Us(alpha), Uh(alpha), total(alpha) (Fig. 8 / Fig. 9).
+/// With checkpointing enabled an interrupted or sharded regeneration resumes
+/// and merges to a bitwise-identical curve; `outcome` reports progress. On an
+/// incomplete (sharded / job-budgeted) sweep, points whose Markov job is
+/// missing carry only their alpha, and a point's simulation columns are
+/// populated only when *all* of its runs are available; passing `outcome` is
+/// mandatory in that case (the driver refuses partial output otherwise).
 [[nodiscard]] std::vector<RevenuePoint> revenue_curve(
-    const RevenueCurveOptions& options);
+    const RevenueCurveOptions& options,
+    support::SweepOutcome* outcome = nullptr);
 
 /// One point of the threshold-vs-gamma comparison (Fig. 10).
 struct ThresholdPoint {
@@ -55,16 +67,37 @@ struct ThresholdCurveOptions {
   rewards::RewardConfig rewards = rewards::RewardConfig::ethereum_byzantium();
   std::vector<double> gammas;  ///< empty => 0, 0.05, ..., 1.0 (Fig. 10 grid)
   ThresholdOptions threshold;
+  /// Resume/shard persistence; disabled when the directory is empty.
+  support::SweepCheckpoint checkpoint;
 };
 
 /// Threshold curves for Bitcoin and both Ethereum scenarios (Fig. 10).
+/// Checkpoint semantics as revenue_curve: resumed/sharded regenerations are
+/// bitwise-identical to fresh ones; incomplete sweeps require `outcome`.
 [[nodiscard]] std::vector<ThresholdPoint> threshold_curve(
-    const ThresholdCurveOptions& options);
+    const ThresholdCurveOptions& options,
+    support::SweepOutcome* outcome = nullptr);
 
 /// Default grids used by the paper's figures.
 [[nodiscard]] std::vector<double> fig8_alpha_grid();   ///< 0..0.45 step 0.025
 [[nodiscard]] std::vector<double> fig10_gamma_grid();  ///< 0..1 step 0.05
 
 }  // namespace ethsm::analysis
+
+namespace ethsm::support {
+
+template <>
+struct CheckpointCodec<analysis::RevenuePoint> {
+  static void encode(ByteWriter& w, const analysis::RevenuePoint& point);
+  static analysis::RevenuePoint decode(ByteReader& r);
+};
+
+template <>
+struct CheckpointCodec<analysis::ThresholdPoint> {
+  static void encode(ByteWriter& w, const analysis::ThresholdPoint& point);
+  static analysis::ThresholdPoint decode(ByteReader& r);
+};
+
+}  // namespace ethsm::support
 
 #endif  // ETHSM_ANALYSIS_SWEEP_H

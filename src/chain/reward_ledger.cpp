@@ -76,3 +76,45 @@ LedgerResult settle_rewards(const BlockTree& tree, BlockId main_tip,
 }
 
 }  // namespace ethsm::chain
+
+namespace ethsm::support {
+
+void CheckpointCodec<chain::LedgerResult>::encode(
+    ByteWriter& w, const chain::LedgerResult& ledger) {
+  for (const auto& rewards : ledger.rewards) {
+    w.f64(rewards.static_reward);
+    w.f64(rewards.uncle_reward);
+    w.f64(rewards.nephew_reward);
+  }
+  for (const auto& fates : ledger.fates) {
+    w.u64(fates.regular);
+    w.u64(fates.referenced_uncle);
+    w.u64(fates.stale);
+  }
+  for (const auto& histogram : ledger.uncle_distance) {
+    CheckpointCodec<Histogram>::encode(w, histogram);
+  }
+  w.f64_vec(ledger.per_miner_reward);
+}
+
+chain::LedgerResult CheckpointCodec<chain::LedgerResult>::decode(
+    ByteReader& r) {
+  chain::LedgerResult ledger;
+  for (auto& rewards : ledger.rewards) {
+    rewards.static_reward = r.f64();
+    rewards.uncle_reward = r.f64();
+    rewards.nephew_reward = r.f64();
+  }
+  for (auto& fates : ledger.fates) {
+    fates.regular = r.u64();
+    fates.referenced_uncle = r.u64();
+    fates.stale = r.u64();
+  }
+  for (auto& histogram : ledger.uncle_distance) {
+    histogram = CheckpointCodec<Histogram>::decode(r);
+  }
+  ledger.per_miner_reward = r.f64_vec();
+  return ledger;
+}
+
+}  // namespace ethsm::support

@@ -17,6 +17,7 @@
 
 #include "chain/block_tree.h"
 #include "rewards/reward_schedule.h"
+#include "support/checkpoint.h"
 #include "support/stats.h"
 
 namespace ethsm::chain {
@@ -89,5 +90,18 @@ struct LedgerResult {
     const BlockTree& tree, BlockId main_tip);
 
 }  // namespace ethsm::chain
+
+namespace ethsm::support {
+
+/// Checkpoint serialization of a full accounting result (resumable sweeps):
+/// doubles as raw bit patterns, histograms bucket-exact, so decode(encode(x))
+/// reproduces x bitwise.
+template <>
+struct CheckpointCodec<chain::LedgerResult> {
+  static void encode(ByteWriter& w, const chain::LedgerResult& ledger);
+  static chain::LedgerResult decode(ByteReader& r);
+};
+
+}  // namespace ethsm::support
 
 #endif  // ETHSM_CHAIN_REWARD_LEDGER_H

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "support/check.h"
+#include "support/checkpoint.h"
 
 namespace ethsm::rewards {
 
@@ -85,6 +86,19 @@ std::vector<RewardTypeInfo> table1_reward_inventory() {
       {"Transaction Fee (Gas Cost)", true, true,
        "Transaction execution; resist network attack"},
   };
+}
+
+std::uint64_t sweep_fingerprint(const RewardConfig& config) {
+  support::Fingerprint fp;
+  fp.mix("rewards/v1");
+  const int horizon = config.reference_horizon();
+  fp.mix(horizon);
+  for (int d = 1; d <= horizon; ++d) {
+    fp.mix(config.uncle_reward(d));
+    fp.mix(config.nephew_reward(d));
+  }
+  fp.mix(config.max_uncles_per_block);
+  return fp.digest();
 }
 
 }  // namespace ethsm::rewards

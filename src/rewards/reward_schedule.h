@@ -17,6 +17,7 @@
 #define ETHSM_REWARDS_REWARD_SCHEDULE_H
 
 #include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -153,6 +154,12 @@ struct RewardTypeInfo {
 
 /// The content of the paper's Table I, for the bench_table1 regenerator.
 [[nodiscard]] std::vector<RewardTypeInfo> table1_reward_inventory();
+
+/// 64-bit digest of the *numeric content* of a reward configuration (every
+/// Ku(d)/Kn(d) value over the reference horizon plus the per-block uncle
+/// cap), used in sweep-checkpoint fingerprints. Two configs that price every
+/// distance identically fingerprint identically regardless of schedule class.
+[[nodiscard]] std::uint64_t sweep_fingerprint(const RewardConfig& config);
 
 }  // namespace ethsm::rewards
 

@@ -152,21 +152,42 @@ DelaySimResult run_delay_simulation(const DelaySimConfig& config) {
 }
 
 DelayMultiRunSummary run_delay_many(const DelaySimConfig& config, int runs) {
+  return run_delay_many(config, runs, support::SweepCheckpoint{});
+}
+
+DelayMultiRunSummary run_delay_many(const DelaySimConfig& config, int runs,
+                                    const support::SweepCheckpoint& checkpoint,
+                                    support::SweepOutcome* outcome) {
   ETHSM_EXPECTS(runs > 0, "need at least one run");
   config.validate();
   const auto num_miners = config.effective_shares().size();
 
-  const auto results = support::parallel_map(
-      static_cast<std::size_t>(runs), [&config](std::size_t r) {
+  support::Fingerprint fp;
+  fp.mix("run_delay_many/v1");
+  for (double share : config.effective_shares()) fp.mix(share);
+  fp.mix(config.delay);
+  fp.mix(config.num_blocks);
+  fp.mix(config.seed);
+  fp.mix(rewards::sweep_fingerprint(config.rewards));
+  fp.mix(runs);
+
+  const auto sweep = support::run_checkpointed<DelaySimResult>(
+      checkpoint, fp.digest(), static_cast<std::size_t>(runs),
+      [&config](std::size_t r) {
         DelaySimConfig run_config = config;
         run_config.seed =
             support::derive_seed(config.seed, static_cast<std::uint64_t>(r));
         return run_delay_simulation(run_config);
       });
+  ETHSM_EXPECTS(outcome != nullptr || sweep.complete(),
+                "incomplete sharded/budgeted sweep: pass a SweepOutcome to "
+                "consume partial aggregates");
 
   DelayMultiRunSummary summary;
   summary.per_miner_stale_fraction.resize(num_miners);
-  for (const DelaySimResult& r : results) {
+  for (std::size_t i = 0; i < sweep.results.size(); ++i) {
+    if (!sweep.have[i]) continue;
+    const DelaySimResult& r = sweep.results[i];
     summary.uncle_rate.add(r.uncle_rate());
     summary.stale_rate.add(r.stale_rate());
     summary.duration.add(r.duration);
@@ -175,8 +196,33 @@ DelayMultiRunSummary run_delay_many(const DelaySimConfig& config, int runs) {
     }
     ++summary.runs;
   }
+  if (outcome != nullptr) outcome->merge(sweep.outcome);
   return summary;
 }
 
 }  // namespace ethsm::sim
+
+namespace ethsm::support {
+
+void CheckpointCodec<sim::DelaySimResult>::encode(
+    ByteWriter& w, const sim::DelaySimResult& result) {
+  CheckpointCodec<chain::LedgerResult>::encode(w, result.ledger);
+  w.u64(result.blocks_mined);
+  w.f64(result.duration);
+  w.f64_vec(result.per_miner_stale_fraction);
+  w.u64_vec(result.per_miner_blocks);
+}
+
+sim::DelaySimResult CheckpointCodec<sim::DelaySimResult>::decode(
+    ByteReader& r) {
+  sim::DelaySimResult result;
+  result.ledger = CheckpointCodec<chain::LedgerResult>::decode(r);
+  result.blocks_mined = r.u64();
+  result.duration = r.f64();
+  result.per_miner_stale_fraction = r.f64_vec();
+  result.per_miner_blocks = r.u64_vec();
+  return result;
+}
+
+}  // namespace ethsm::support
 

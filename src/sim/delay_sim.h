@@ -26,6 +26,7 @@
 
 #include "chain/reward_ledger.h"
 #include "rewards/reward_schedule.h"
+#include "support/checkpoint.h"
 #include "support/stats.h"
 
 namespace ethsm::sim {
@@ -80,6 +81,22 @@ struct DelayMultiRunSummary {
 [[nodiscard]] DelayMultiRunSummary run_delay_many(const DelaySimConfig& config,
                                                   int runs);
 
+/// Checkpointed variant (see run_many in sim/simulator.h for the contract).
+[[nodiscard]] DelayMultiRunSummary run_delay_many(
+    const DelaySimConfig& config, int runs,
+    const support::SweepCheckpoint& checkpoint,
+    support::SweepOutcome* outcome = nullptr);
+
 }  // namespace ethsm::sim
+
+namespace ethsm::support {
+
+template <>
+struct CheckpointCodec<sim::DelaySimResult> {
+  static void encode(ByteWriter& w, const sim::DelaySimResult& result);
+  static sim::DelaySimResult decode(ByteReader& r);
+};
+
+}  // namespace ethsm::support
 
 #endif  // ETHSM_SIM_DELAY_SIM_H

@@ -124,25 +124,71 @@ PopulationResult run_population_simulation(const PopulationConfig& config) {
 
 PopulationMultiRunSummary run_population_many(const PopulationConfig& config,
                                               int runs) {
+  return run_population_many(config, runs, support::SweepCheckpoint{});
+}
+
+PopulationMultiRunSummary run_population_many(
+    const PopulationConfig& config, int runs,
+    const support::SweepCheckpoint& checkpoint,
+    support::SweepOutcome* outcome) {
   ETHSM_EXPECTS(runs > 0, "need at least one run");
   config.validate();
 
-  const auto results = support::parallel_map(
-      static_cast<std::size_t>(runs), [&config](std::size_t r) {
+  support::Fingerprint fp;
+  fp.mix("run_population_many/v1");
+  fp.mix(config.base.alpha);
+  fp.mix(config.base.gamma);
+  fp.mix(config.base.num_blocks);
+  fp.mix(config.base.seed);
+  fp.mix(rewards::sweep_fingerprint(config.base.rewards));
+  fp.mix(config.base.pool_uses_selfish_strategy);
+  fp.mix(config.num_miners);
+  fp.mix(runs);
+
+  const auto sweep = support::run_checkpointed<PopulationResult>(
+      checkpoint, fp.digest(), static_cast<std::size_t>(runs),
+      [&config](std::size_t r) {
         PopulationConfig run_config = config;
         run_config.base.seed = support::derive_seed(
             config.base.seed, static_cast<std::uint64_t>(r));
         return run_population_simulation(run_config);
       });
+  ETHSM_EXPECTS(outcome != nullptr || sweep.complete(),
+                "incomplete sharded/budgeted sweep: pass a SweepOutcome to "
+                "consume partial aggregates");
 
   PopulationMultiRunSummary summary;
   summary.pool_size = config.pool_size();
   summary.effective_alpha = config.effective_alpha();
-  for (const PopulationResult& r : results) {
-    summary.sim.absorb(r.sim);
-    summary.pool_member_share.add(r.pool_member_share());
+  for (std::size_t r = 0; r < sweep.results.size(); ++r) {
+    if (!sweep.have[r]) continue;
+    summary.sim.absorb(sweep.results[r].sim);
+    summary.pool_member_share.add(sweep.results[r].pool_member_share());
   }
+  if (outcome != nullptr) outcome->merge(sweep.outcome);
   return summary;
 }
 
 }  // namespace ethsm::sim
+
+namespace ethsm::support {
+
+void CheckpointCodec<sim::PopulationResult>::encode(
+    ByteWriter& w, const sim::PopulationResult& result) {
+  CheckpointCodec<sim::SimResult>::encode(w, result.sim);
+  w.f64_vec(result.per_miner_reward);
+  w.u32(result.pool_size);
+  w.f64(result.effective_alpha);
+}
+
+sim::PopulationResult CheckpointCodec<sim::PopulationResult>::decode(
+    ByteReader& r) {
+  sim::PopulationResult result;
+  result.sim = CheckpointCodec<sim::SimResult>::decode(r);
+  result.per_miner_reward = r.f64_vec();
+  result.pool_size = r.u32();
+  result.effective_alpha = r.f64();
+  return result;
+}
+
+}  // namespace ethsm::support

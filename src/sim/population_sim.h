@@ -50,6 +50,22 @@ struct PopulationMultiRunSummary {
 [[nodiscard]] PopulationMultiRunSummary run_population_many(
     const PopulationConfig& config, int runs);
 
+/// Checkpointed variant (see run_many in sim/simulator.h for the contract).
+[[nodiscard]] PopulationMultiRunSummary run_population_many(
+    const PopulationConfig& config, int runs,
+    const support::SweepCheckpoint& checkpoint,
+    support::SweepOutcome* outcome = nullptr);
+
 }  // namespace ethsm::sim
+
+namespace ethsm::support {
+
+template <>
+struct CheckpointCodec<sim::PopulationResult> {
+  static void encode(ByteWriter& w, const sim::PopulationResult& result);
+  static sim::PopulationResult decode(ByteReader& r);
+};
+
+}  // namespace ethsm::support
 
 #endif  // ETHSM_SIM_POPULATION_SIM_H

@@ -91,3 +91,24 @@ void MultiRunSummary::absorb(const SimResult& r) {
 }
 
 }  // namespace ethsm::sim
+
+namespace ethsm::support {
+
+void CheckpointCodec<sim::SimResult>::encode(ByteWriter& w,
+                                             const sim::SimResult& result) {
+  CheckpointCodec<chain::LedgerResult>::encode(w, result.ledger);
+  w.u64(result.blocks_mined_pool);
+  w.u64(result.blocks_mined_honest);
+  w.f64(result.duration);
+}
+
+sim::SimResult CheckpointCodec<sim::SimResult>::decode(ByteReader& r) {
+  sim::SimResult result;
+  result.ledger = CheckpointCodec<chain::LedgerResult>::decode(r);
+  result.blocks_mined_pool = r.u64();
+  result.blocks_mined_honest = r.u64();
+  result.duration = r.f64();
+  return result;
+}
+
+}  // namespace ethsm::support

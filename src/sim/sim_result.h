@@ -15,6 +15,7 @@
 
 #include "chain/reward_ledger.h"
 #include "sim/sim_config.h"
+#include "support/checkpoint.h"
 #include "support/stats.h"
 
 namespace ethsm::sim {
@@ -91,5 +92,18 @@ struct MultiRunSummary {
 };
 
 }  // namespace ethsm::sim
+
+namespace ethsm::support {
+
+/// Checkpoint serialization of a single run's outcome: the unit persisted by
+/// the checkpointed multi-run drivers (summaries are recomputed from decoded
+/// runs in index order, so resumed aggregates match fresh ones bitwise).
+template <>
+struct CheckpointCodec<sim::SimResult> {
+  static void encode(ByteWriter& w, const sim::SimResult& result);
+  static sim::SimResult decode(ByteReader& r);
+};
+
+}  // namespace ethsm::support
 
 #endif  // ETHSM_SIM_SIM_RESULT_H

@@ -18,6 +18,36 @@ chain::BlockTree& scratch_tree(std::uint64_t num_blocks) {
   return chain::thread_local_tree(num_blocks + 1);
 }
 
+/// Fingerprint of everything a run_many job depends on besides its index.
+std::uint64_t many_fingerprint(const char* driver, const SimConfig& config,
+                               int runs) {
+  support::Fingerprint fp;
+  fp.mix(driver);
+  fp.mix(config.alpha);
+  fp.mix(config.gamma);
+  fp.mix(config.num_blocks);
+  fp.mix(config.seed);
+  fp.mix(rewards::sweep_fingerprint(config.rewards));
+  fp.mix(config.pool_uses_selfish_strategy);
+  fp.mix(runs);
+  return fp.digest();
+}
+
+/// Index-ordered absorption over whichever runs are available; refuses a
+/// partial aggregate unless the caller asked to see the outcome.
+MultiRunSummary absorb_available(const support::CheckpointedSweep<SimResult>& sweep,
+                                 support::SweepOutcome* outcome) {
+  ETHSM_EXPECTS(outcome != nullptr || sweep.complete(),
+                "incomplete sharded/budgeted sweep: pass a SweepOutcome to "
+                "consume partial aggregates");
+  MultiRunSummary summary;
+  for (std::size_t r = 0; r < sweep.results.size(); ++r) {
+    if (sweep.have[r]) summary.absorb(sweep.results[r]);
+  }
+  if (outcome != nullptr) outcome->merge(sweep.outcome);
+  return summary;
+}
+
 /// Control run: everybody (including the pool's hash power) follows the
 /// protocol. With zero propagation delay there are no forks at all, so every
 /// block is regular and revenue share == hash share.
@@ -88,24 +118,28 @@ SimResult run_simulation(const SimConfig& config) {
 }
 
 MultiRunSummary run_many(const SimConfig& config, int runs) {
+  return run_many(config, runs, support::SweepCheckpoint{});
+}
+
+MultiRunSummary run_many(const SimConfig& config, int runs,
+                         const support::SweepCheckpoint& checkpoint,
+                         support::SweepOutcome* outcome) {
   ETHSM_EXPECTS(runs > 0, "need at least one run");
   config.validate();
 
   // Fan the runs out across the pool. Each run is a pure function of its
   // index (seed = derive_seed(master, index)) and the summary is absorbed in
   // index order afterwards, so the aggregate is bitwise-identical for any
-  // thread count -- see support/parallel.h.
-  const auto results = support::parallel_map(
+  // thread count -- and, with a checkpoint store, across resume/shard splits.
+  const auto sweep = support::run_checkpointed<SimResult>(
+      checkpoint, many_fingerprint("run_many/v1", config, runs),
       static_cast<std::size_t>(runs), [&config](std::size_t r) {
         SimConfig run_config = config;
         run_config.seed =
             support::derive_seed(config.seed, static_cast<std::uint64_t>(r));
         return run_simulation(run_config);
       });
-
-  MultiRunSummary summary;
-  for (const SimResult& r : results) summary.absorb(r);
-  return summary;
+  return absorb_available(sweep, outcome);
 }
 
 SimResult run_stubborn_simulation(const SimConfig& config,
@@ -147,22 +181,34 @@ SimResult run_stubborn_simulation(const SimConfig& config,
 MultiRunSummary run_stubborn_many(const SimConfig& config,
                                   const miner::StubbornConfig& strategy,
                                   int runs) {
+  return run_stubborn_many(config, strategy, runs, support::SweepCheckpoint{});
+}
+
+MultiRunSummary run_stubborn_many(const SimConfig& config,
+                                  const miner::StubbornConfig& strategy,
+                                  int runs,
+                                  const support::SweepCheckpoint& checkpoint,
+                                  support::SweepOutcome* outcome) {
   ETHSM_EXPECTS(runs > 0, "need at least one run");
   config.validate();
   ETHSM_EXPECTS(config.pool_uses_selfish_strategy,
                 "stubborn variants require an attacking pool");
 
-  const auto results = support::parallel_map(
-      static_cast<std::size_t>(runs), [&config, &strategy](std::size_t r) {
+  support::Fingerprint fp;
+  fp.mix(many_fingerprint("run_stubborn_many/v1", config, runs));
+  fp.mix(strategy.lead_stubborn);
+  fp.mix(strategy.equal_fork_stubborn);
+  fp.mix(strategy.trail_stubbornness);
+
+  const auto sweep = support::run_checkpointed<SimResult>(
+      checkpoint, fp.digest(), static_cast<std::size_t>(runs),
+      [&config, &strategy](std::size_t r) {
         SimConfig run_config = config;
         run_config.seed =
             support::derive_seed(config.seed, static_cast<std::uint64_t>(r));
         return run_stubborn_simulation(run_config, strategy);
       });
-
-  MultiRunSummary summary;
-  for (const SimResult& r : results) summary.absorb(r);
-  return summary;
+  return absorb_available(sweep, outcome);
 }
 
 }  // namespace ethsm::sim

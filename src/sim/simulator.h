@@ -17,6 +17,7 @@
 #include "miner/stubborn_policy.h"
 #include "sim/sim_config.h"
 #include "sim/sim_result.h"
+#include "support/checkpoint.h"
 
 namespace ethsm::sim {
 
@@ -27,6 +28,17 @@ namespace ethsm::sim {
 /// aggregates. The paper uses runs = 10.
 [[nodiscard]] MultiRunSummary run_many(const SimConfig& config, int runs);
 
+/// Checkpointed variant: per-run results persist under checkpoint.directory
+/// (keyed by a fingerprint of config + runs) so an interrupted or sharded
+/// sweep resumes/merges to a bitwise-identical aggregate. `outcome` reports
+/// resume/shard progress; when the merged grid is incomplete (some runs
+/// belong to other shards or exceeded the job budget) the partial aggregate
+/// is only returned if the caller passed `outcome` to inspect -- otherwise
+/// the driver refuses rather than silently aggregating a subset.
+[[nodiscard]] MultiRunSummary run_many(const SimConfig& config, int runs,
+                                       const support::SweepCheckpoint& checkpoint,
+                                       support::SweepOutcome* outcome = nullptr);
+
 /// As run_simulation, but the pool runs a stubborn-mining variant
 /// (miner/stubborn_policy.h) instead of Algorithm 1. With a default-initialized
 /// StubbornConfig the result is distributionally identical to run_simulation.
@@ -36,6 +48,12 @@ namespace ethsm::sim {
 /// Multi-run aggregation for stubborn variants.
 [[nodiscard]] MultiRunSummary run_stubborn_many(
     const SimConfig& config, const miner::StubbornConfig& strategy, int runs);
+
+/// Checkpointed variant of run_stubborn_many; semantics as run_many above.
+[[nodiscard]] MultiRunSummary run_stubborn_many(
+    const SimConfig& config, const miner::StubbornConfig& strategy, int runs,
+    const support::SweepCheckpoint& checkpoint,
+    support::SweepOutcome* outcome = nullptr);
 
 }  // namespace ethsm::sim
 

@@ -1,0 +1,425 @@
+#include "support/checkpoint.h"
+
+#include <algorithm>
+#include <bit>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace ethsm::support {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------- sharding --
+
+std::optional<ShardSpec> parse_shard(std::string_view text) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const std::string_view k_text = text.substr(0, slash);
+  const std::string_view n_text = text.substr(slash + 1);
+  std::uint32_t k = 0;
+  std::uint32_t n = 0;
+  const auto k_result =
+      std::from_chars(k_text.data(), k_text.data() + k_text.size(), k);
+  const auto n_result =
+      std::from_chars(n_text.data(), n_text.data() + n_text.size(), n);
+  if (k_result.ec != std::errc() || k_result.ptr != k_text.data() + k_text.size())
+    return std::nullopt;
+  if (n_result.ec != std::errc() || n_result.ptr != n_text.data() + n_text.size())
+    return std::nullopt;
+  if (n == 0 || k >= n) return std::nullopt;
+  return ShardSpec{k, n};
+}
+
+ShardSpec shard_from_env() {
+  const char* text = std::getenv("ETHSM_SHARD");
+  if (text == nullptr) return {};
+  return parse_shard(text).value_or(ShardSpec{});
+}
+
+// ------------------------------------------------------------ fingerprints --
+
+namespace {
+
+/// SplitMix64 finalizer, the same mixer rng.h builds on.
+constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Fingerprint& Fingerprint::mix(std::uint64_t v) noexcept {
+  state_ = mix64(state_ + 0x9e3779b97f4a7c15ULL + v);
+  return *this;
+}
+
+Fingerprint& Fingerprint::mix(double v) noexcept {
+  return mix(std::bit_cast<std::uint64_t>(v));
+}
+
+Fingerprint& Fingerprint::mix(std::string_view text) noexcept {
+  mix(static_cast<std::uint64_t>(text.size()));
+  return mix_bytes(reinterpret_cast<const std::byte*>(text.data()),
+                   text.size());
+}
+
+Fingerprint& Fingerprint::mix_bytes(const std::byte* data,
+                                    std::size_t size) noexcept {
+  std::size_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    std::uint64_t word = 0;
+    std::memcpy(&word, data + i, 8);
+    mix(word);
+  }
+  if (i < size) {
+    std::uint64_t word = 0;
+    std::memcpy(&word, data + i, size - i);
+    mix(word);
+  }
+  return *this;
+}
+
+// ------------------------------------------------------- payload (de)coding --
+
+namespace {
+
+template <typename T>
+void put_raw(std::vector<std::byte>& buffer, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const std::size_t offset = buffer.size();
+  buffer.resize(offset + sizeof(T));
+  std::memcpy(buffer.data() + offset, &value, sizeof(T));
+}
+
+}  // namespace
+
+void ByteWriter::u32(std::uint32_t v) { put_raw(buffer_, v); }
+void ByteWriter::u64(std::uint64_t v) { put_raw(buffer_, v); }
+void ByteWriter::f64(double v) {
+  put_raw(buffer_, std::bit_cast<std::uint64_t>(v));
+}
+
+void ByteWriter::f64_vec(const std::vector<double>& v) {
+  u64(v.size());
+  for (double x : v) f64(x);
+}
+
+void ByteWriter::u64_vec(const std::vector<std::uint64_t>& v) {
+  u64(v.size());
+  for (std::uint64_t x : v) u64(x);
+}
+
+void ByteReader::take(void* out, std::size_t n) {
+  if (cursor_ + n > size_) {
+    throw std::runtime_error(
+        "checkpoint payload underrun: record shorter than its codec expects");
+  }
+  std::memcpy(out, data_ + cursor_, n);
+  cursor_ += n;
+}
+
+std::uint32_t ByteReader::u32() {
+  std::uint32_t v = 0;
+  take(&v, sizeof v);
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  std::uint64_t v = 0;
+  take(&v, sizeof v);
+  return v;
+}
+
+double ByteReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::vector<double> ByteReader::f64_vec() {
+  const std::uint64_t n = u64();
+  if (n > size_ / sizeof(double)) {
+    throw std::runtime_error("checkpoint payload underrun: vector too long");
+  }
+  std::vector<double> v(n);
+  for (auto& x : v) x = f64();
+  return v;
+}
+
+std::vector<std::uint64_t> ByteReader::u64_vec() {
+  const std::uint64_t n = u64();
+  if (n > size_ / sizeof(std::uint64_t)) {
+    throw std::runtime_error("checkpoint payload underrun: vector too long");
+  }
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = u64();
+  return v;
+}
+
+void CheckpointCodec<Histogram>::encode(ByteWriter& w, const Histogram& h) {
+  w.u64(h.size());
+  for (std::size_t i = 0; i < h.size(); ++i) w.u64(h.at(i));
+  w.u64(h.overflow());
+}
+
+Histogram CheckpointCodec<Histogram>::decode(ByteReader& r) {
+  const std::uint64_t size = r.u64();
+  if (size == 0 || size > (1ULL << 24)) {
+    throw std::runtime_error("checkpoint payload: implausible histogram size");
+  }
+  Histogram h(size);
+  for (std::uint64_t i = 0; i < size; ++i) {
+    h.add(static_cast<std::size_t>(i), r.u64());
+  }
+  h.add(static_cast<std::size_t>(size), r.u64());  // out of range -> overflow
+  return h;
+}
+
+// ------------------------------------------------------------------- store --
+
+namespace {
+
+constexpr const char* kFileExtension = ".ethsmck";
+
+std::uint64_t record_checksum(std::uint64_t job,
+                              const std::byte* payload, std::size_t size) {
+  Fingerprint fp;
+  fp.mix(std::uint64_t{0xC5ECC5ECULL});  // domain separation from sweep fps
+  fp.mix(job);
+  fp.mix(static_cast<std::uint64_t>(size));
+  fp.mix_bytes(payload, size);
+  return fp.digest();
+}
+
+std::string hex64(std::uint64_t v) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof buffer, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buffer;
+}
+
+template <typename T>
+bool read_raw(std::ifstream& in, T& out) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return static_cast<bool>(in.read(reinterpret_cast<char*>(&out), sizeof(T)));
+}
+
+template <typename T>
+void write_raw(std::ofstream& out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+}  // namespace
+
+CheckpointStore::CheckpointStore(std::string directory,
+                                 std::uint64_t fingerprint, ShardSpec shard)
+    : directory_(std::move(directory)),
+      fingerprint_(fingerprint),
+      shard_(shard) {
+  ETHSM_EXPECTS(!directory_.empty(), "checkpoint directory must be non-empty");
+  std::error_code ec;
+  fs::create_directories(directory_, ec);
+  ETHSM_EXPECTS(!ec, "cannot create checkpoint directory " + directory_);
+
+  // Merge every readable matching file: this process's earlier attempts plus
+  // any other shard's output dropped into the same directory.
+  std::vector<std::string> files;
+  for (const auto& entry : fs::directory_iterator(directory_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    if (entry.path().extension() == kFileExtension) {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());  // deterministic merge order
+  for (const auto& path : files) {
+    const std::uint64_t valid_bytes = load_file(path);
+    if (path == own_file_path()) {
+      // This process appends to its own file: drop any truncated/corrupt tail
+      // a previous interrupted run left behind, so new records stay readable.
+      // valid_bytes == 0 (a torn or foreign header) truncates to empty, which
+      // makes the next append() rewrite a fresh header instead of landing
+      // records after garbage forever.
+      std::error_code resize_ec;
+      if (fs::file_size(path, resize_ec) != valid_bytes && !resize_ec) {
+        fs::resize_file(path, valid_bytes, resize_ec);
+      }
+    }
+  }
+}
+
+std::string CheckpointStore::own_file_path() const {
+  std::ostringstream name;
+  name << "sweep-" << hex64(fingerprint_) << "-shard" << shard_.index << "of"
+       << shard_.count << kFileExtension;
+  return (fs::path(directory_) / name.str()).string();
+}
+
+std::uint64_t CheckpointStore::load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return 0;
+  std::error_code size_ec;
+  const std::uint64_t file_bytes = fs::file_size(path, size_ec);
+  if (size_ec) return 0;
+
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint32_t reserved = 0;
+  std::uint64_t file_fingerprint = 0;
+  if (!read_raw(in, magic) || !read_raw(in, version) ||
+      !read_raw(in, reserved) || !read_raw(in, file_fingerprint)) {
+    return 0;  // too short to even hold a header
+  }
+  if (magic != kMagic || version != kFormatVersion ||
+      file_fingerprint != fingerprint_) {
+    return 0;  // stale sweep / foreign file: ignore wholesale
+  }
+
+  std::uint64_t valid_end = sizeof magic + sizeof version + sizeof reserved +
+                            sizeof file_fingerprint;
+  for (;;) {
+    std::uint64_t job = 0;
+    std::uint64_t size = 0;
+    if (!read_raw(in, job) || !read_raw(in, size)) break;  // truncated tail
+    // A corrupted size field must not drive the allocation below: the
+    // payload + checksum cannot extend past the end of the file.
+    const std::uint64_t record_data_start =
+        valid_end + sizeof job + sizeof size;
+    if (size > file_bytes ||
+        record_data_start + size + sizeof(std::uint64_t) > file_bytes) {
+      break;
+    }
+    std::vector<std::byte> payload(size);
+    if (!in.read(reinterpret_cast<char*>(payload.data()),
+                 static_cast<std::streamsize>(size))) {
+      break;
+    }
+    std::uint64_t checksum = 0;
+    if (!read_raw(in, checksum)) break;
+    if (checksum != record_checksum(job, payload.data(), payload.size())) {
+      break;  // corruption: stop trusting this file from here on
+    }
+    records_[job] = std::move(payload);
+    valid_end += sizeof job + sizeof size + size + sizeof checksum;
+  }
+  return valid_end;
+}
+
+const std::vector<std::byte>& CheckpointStore::payload(
+    std::uint64_t job) const {
+  const auto it = records_.find(job);
+  ETHSM_EXPECTS(it != records_.end(), "no checkpoint record for job");
+  return it->second;
+}
+
+void CheckpointStore::append(std::uint64_t job,
+                             const std::vector<std::byte>& payload) {
+  const std::lock_guard<std::mutex> lock(append_mutex_);
+
+  const std::string path = own_file_path();
+  const bool fresh = !fs::exists(path) || fs::file_size(path) == 0;
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  ETHSM_ENSURES(static_cast<bool>(out),
+                "cannot open checkpoint file " + path);
+  if (fresh) {
+    write_raw(out, kMagic);
+    write_raw(out, kFormatVersion);
+    write_raw(out, std::uint32_t{0});
+    write_raw(out, fingerprint_);
+  }
+  write_raw(out, job);
+  write_raw(out, static_cast<std::uint64_t>(payload.size()));
+  out.write(reinterpret_cast<const char*>(payload.data()),
+            static_cast<std::streamsize>(payload.size()));
+  write_raw(out, record_checksum(job, payload.data(), payload.size()));
+  out.flush();
+  ETHSM_ENSURES(static_cast<bool>(out),
+                "short write to checkpoint file " + path);
+
+  records_[job] = payload;
+}
+
+// -------------------------------------------------------------- bench CLI --
+
+namespace {
+
+[[noreturn]] void cli_fail(const std::string& message) {
+  std::fprintf(stderr,
+               "error: %s\n"
+               "usage: [--quick] [--checkpoint-dir DIR | --resume] "
+               "[--shard k/N]\n",
+               message.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+SweepCli parse_sweep_cli(int argc, char** argv) {
+  SweepCli cli;
+  if (const char* dir = std::getenv("ETHSM_CHECKPOINT_DIR")) {
+    cli.checkpoint.directory = dir;
+  }
+  cli.checkpoint.shard = shard_from_env();
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--quick") {
+      cli.quick = true;
+    } else if (arg == "--resume") {
+      if (cli.checkpoint.directory.empty()) {
+        cli.checkpoint.directory = "ethsm-checkpoints";
+      }
+    } else if (arg == "--checkpoint-dir") {
+      if (i + 1 >= argc) cli_fail("--checkpoint-dir needs a directory");
+      cli.checkpoint.directory = argv[++i];
+    } else if (arg == "--shard") {
+      if (i + 1 >= argc) cli_fail("--shard needs k/N");
+      const auto shard = parse_shard(argv[++i]);
+      if (!shard) cli_fail("malformed --shard (want k/N with 0 <= k < N)");
+      cli.checkpoint.shard = *shard;
+    } else {
+      cli_fail("unknown argument " + std::string(arg));
+    }
+  }
+  if (!cli.checkpoint.shard.is_whole_sweep() &&
+      cli.checkpoint.directory.empty()) {
+    cli_fail("--shard requires --checkpoint-dir (shards merge through disk)");
+  }
+  return cli;
+}
+
+bool report_sweep_progress(std::ostream& os, const SweepCheckpoint& checkpoint,
+                           const SweepOutcome& outcome) {
+  if (checkpoint.enabled()) {
+    os << describe(checkpoint, outcome) << "\n";
+  }
+  if (!outcome.complete()) {
+    os << "Partial sweep: aggregates suppressed until every shard's records "
+          "are present; re-run with the same --checkpoint-dir to merge.\n";
+    return false;
+  }
+  return true;
+}
+
+std::string describe(const SweepCheckpoint& checkpoint,
+                     const SweepOutcome& outcome) {
+  std::ostringstream os;
+  os << "checkpoint: " << outcome.loaded << " loaded + " << outcome.computed
+     << " computed of " << outcome.jobs_total << " jobs";
+  if (!checkpoint.shard.is_whole_sweep()) {
+    os << " (shard " << checkpoint.shard.index << "/"
+       << checkpoint.shard.count << ")";
+  }
+  if (outcome.skipped > 0) {
+    os << "; " << outcome.skipped
+       << " left for other shards or a later resume";
+  }
+  os << " [dir: " << checkpoint.directory << "]";
+  return os.str();
+}
+
+}  // namespace ethsm::support

@@ -1,0 +1,286 @@
+// Resumable sweep checkpointing (ROADMAP: "sharded sweep checkpointing").
+//
+// Long sweeps (threshold_curve at tight tolerance, 100+ alpha grids) persist
+// per-job results to disk so an interrupted regeneration resumes instead of
+// restarting, and so the same job grid can be split across processes
+// (--shard k/N) and merged by index afterwards. The job-index determinism
+// contract (support/parallel.h) makes both bitwise-exact by construction:
+// every job is a pure function of its index, results are serialized as raw
+// bit patterns, and aggregation always happens serially in index order over
+// the merged result vector.
+//
+// On-disk format (one file per writing process, little-endian):
+//   header:  magic u64 "ETHSMCK1" | format version u32 | reserved u32 |
+//            sweep fingerprint u64
+//   record:  job index u64 | payload size u64 | payload bytes |
+//            checksum u64 over (job index, size, payload)
+// Files whose header does not match the current magic/version/fingerprint are
+// ignored wholesale (stale sweeps share a directory safely); reading a file
+// stops at the first truncated or checksum-corrupted record, so a process
+// killed mid-append loses at most its final record. The store loads *every*
+// readable file in the directory with a matching fingerprint, which is
+// exactly the index-ordered shard merge.
+
+#ifndef ETHSM_SUPPORT_CHECKPOINT_H
+#define ETHSM_SUPPORT_CHECKPOINT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/stats.h"
+
+namespace ethsm::support {
+
+// ---------------------------------------------------------------- sharding --
+
+/// Cross-process shard selection: shard k of N owns job indices j with
+/// j % N == k. The default {0, 1} owns everything.
+struct ShardSpec {
+  std::uint32_t index = 0;
+  std::uint32_t count = 1;
+
+  [[nodiscard]] bool owns(std::size_t job) const noexcept {
+    return job % count == index;
+  }
+  [[nodiscard]] bool is_whole_sweep() const noexcept { return count == 1; }
+};
+
+/// Parses "k/N" (0 <= k < N); nullopt on malformed input.
+[[nodiscard]] std::optional<ShardSpec> parse_shard(std::string_view text);
+
+/// ShardSpec from the ETHSM_SHARD environment variable ("k/N"); the default
+/// whole-sweep spec when unset or malformed.
+[[nodiscard]] ShardSpec shard_from_env();
+
+// ------------------------------------------------------------ fingerprints --
+
+/// Order-sensitive 64-bit mixer used for sweep fingerprints and record
+/// checksums. Doubles are mixed as bit patterns so any numeric change to a
+/// sweep's parameters yields a different fingerprint.
+class Fingerprint {
+ public:
+  Fingerprint& mix(std::uint64_t v) noexcept;
+  Fingerprint& mix(std::int64_t v) noexcept {
+    return mix(static_cast<std::uint64_t>(v));
+  }
+  Fingerprint& mix(std::uint32_t v) noexcept {
+    return mix(static_cast<std::uint64_t>(v));
+  }
+  Fingerprint& mix(int v) noexcept {
+    return mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(v)));
+  }
+  Fingerprint& mix(bool v) noexcept {
+    return mix(static_cast<std::uint64_t>(v ? 1 : 0));
+  }
+  Fingerprint& mix(double v) noexcept;
+  Fingerprint& mix(std::string_view text) noexcept;
+  /// String literals must hash as text, not decay to the bool overload.
+  Fingerprint& mix(const char* text) noexcept {
+    return mix(std::string_view(text));
+  }
+  Fingerprint& mix_bytes(const std::byte* data, std::size_t size) noexcept;
+
+  [[nodiscard]] std::uint64_t digest() const noexcept { return state_; }
+
+ private:
+  std::uint64_t state_ = 0x9d5c'0fb2'ae73'11c5ULL;
+};
+
+// ------------------------------------------------------- payload (de)coding --
+
+/// Append-only little-endian byte buffer. Doubles are stored as raw bit
+/// patterns, so decode(encode(x)) == x bitwise -- the property the resumed ==
+/// fresh guarantee rests on.
+class ByteWriter {
+ public:
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void f64(double v);
+  void boolean(bool v) { u32(v ? 1 : 0); }
+  void f64_vec(const std::vector<double>& v);
+  void u64_vec(const std::vector<std::uint64_t>& v);
+
+  [[nodiscard]] const std::vector<std::byte>& bytes() const noexcept {
+    return buffer_;
+  }
+
+ private:
+  std::vector<std::byte> buffer_;
+};
+
+/// Cursor over a checkpoint payload; throws std::runtime_error on underrun
+/// (a record that passed its checksum but does not match the codec layout is
+/// a schema bug, not silent corruption).
+class ByteReader {
+ public:
+  ByteReader(const std::byte* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<std::byte>& bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  [[nodiscard]] double f64();
+  [[nodiscard]] bool boolean() { return u32() != 0; }
+  [[nodiscard]] std::vector<double> f64_vec();
+  [[nodiscard]] std::vector<std::uint64_t> u64_vec();
+  [[nodiscard]] bool exhausted() const noexcept { return cursor_ == size_; }
+
+ private:
+  void take(void* out, std::size_t n);
+
+  const std::byte* data_;
+  std::size_t size_;
+  std::size_t cursor_ = 0;
+};
+
+/// Per-result-type codec used by run_checkpointed; specialize for every sweep
+/// job result. Encoding must be a pure function of the value and must round-
+/// trip bitwise (store raw bit patterns, never re-derived quantities).
+template <typename T>
+struct CheckpointCodec;  // intentionally undefined for unknown types
+
+template <>
+struct CheckpointCodec<double> {
+  static void encode(ByteWriter& w, double v) { w.f64(v); }
+  static double decode(ByteReader& r) { return r.f64(); }
+};
+
+template <>
+struct CheckpointCodec<std::uint64_t> {
+  static void encode(ByteWriter& w, std::uint64_t v) { w.u64(v); }
+  static std::uint64_t decode(ByteReader& r) { return r.u64(); }
+};
+
+/// Histograms round-trip exactly: integer bucket counts plus the overflow
+/// bucket reconstruct total() without loss.
+template <>
+struct CheckpointCodec<Histogram> {
+  static void encode(ByteWriter& w, const Histogram& h);
+  static Histogram decode(ByteReader& r);
+};
+
+// ------------------------------------------------------------------- store --
+
+/// Persistent (sweep fingerprint, job index) -> payload map backed by the
+/// directory described in the header comment. Loading merges every matching
+/// file (shards included); appends go to this process's own file and are
+/// flushed record-by-record, so a killed process loses at most the record
+/// being written. Append is thread-safe (called from pool workers); one store
+/// instance must not be shared between processes.
+class CheckpointStore {
+ public:
+  /// "ETHSMCK1" as a little-endian u64.
+  static constexpr std::uint64_t kMagic = 0x314b'434d'5348'5445ULL;
+  static constexpr std::uint32_t kFormatVersion = 1;
+
+  CheckpointStore(std::string directory, std::uint64_t fingerprint,
+                  ShardSpec shard = {});
+
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] bool contains(std::uint64_t job) const {
+    return records_.count(job) != 0;
+  }
+  [[nodiscard]] const std::vector<std::byte>& payload(std::uint64_t job) const;
+  [[nodiscard]] const std::string& directory() const noexcept {
+    return directory_;
+  }
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept {
+    return fingerprint_;
+  }
+
+  /// Persists one job result; overwrites any in-memory copy. Thread-safe.
+  void append(std::uint64_t job, const std::vector<std::byte>& payload);
+
+  /// File this process appends to (exposed for tests).
+  [[nodiscard]] std::string own_file_path() const;
+
+ private:
+  /// Loads one file; returns the byte offset of the end of the last valid
+  /// record (0 when the header itself is unusable).
+  std::uint64_t load_file(const std::string& path);
+
+  std::string directory_;
+  std::uint64_t fingerprint_;
+  ShardSpec shard_;
+  std::map<std::uint64_t, std::vector<std::byte>> records_;
+  std::mutex append_mutex_;
+};
+
+// -------------------------------------------------------- sweep-level knobs --
+
+/// Progress accounting for a (possibly resumed / sharded / budgeted) sweep.
+struct SweepOutcome {
+  std::size_t jobs_total = 0;
+  std::size_t loaded = 0;    ///< satisfied from checkpoint records
+  std::size_t computed = 0;  ///< freshly executed by this process
+  std::size_t skipped = 0;   ///< left to other shards or a later resume
+
+  [[nodiscard]] bool complete() const noexcept {
+    return loaded + computed == jobs_total;
+  }
+  void merge(const SweepOutcome& other) noexcept {
+    jobs_total += other.jobs_total;
+    loaded += other.loaded;
+    computed += other.computed;
+    skipped += other.skipped;
+  }
+};
+
+/// Checkpoint/shard options threaded through the sweep drivers. An empty
+/// directory disables persistence entirely (the driver computes every job
+/// in-process exactly as before).
+struct SweepCheckpoint {
+  std::string directory;
+  ShardSpec shard;
+  /// Upper bound on jobs *computed* by this invocation (resume-interruption
+  /// testing and coarse time budgeting); SIZE_MAX = unbounded.
+  std::size_t max_new_jobs = static_cast<std::size_t>(-1);
+
+  [[nodiscard]] bool enabled() const noexcept { return !directory.empty(); }
+};
+
+// -------------------------------------------------------------- bench CLI --
+
+/// Shared command-line contract of the bench regenerators:
+///   --quick               smaller grids / fewer runs
+///   --checkpoint-dir DIR  persist per-job results under DIR and resume
+///   --resume              like --checkpoint-dir with the default directory
+///                         ("ethsm-checkpoints")
+///   --shard k/N           compute only job indices j with j %% N == k
+/// Environment fallbacks: ETHSM_CHECKPOINT_DIR, ETHSM_SHARD (flags win).
+/// Unknown arguments abort with a usage message on stderr (exit code 2).
+struct SweepCli {
+  bool quick = false;
+  SweepCheckpoint checkpoint;
+};
+
+[[nodiscard]] SweepCli parse_sweep_cli(int argc, char** argv);
+
+/// One-line human-readable resume/shard progress summary for bench output.
+[[nodiscard]] std::string describe(const SweepCheckpoint& checkpoint,
+                                   const SweepOutcome& outcome);
+
+/// Shared bench/example epilogue: prints the progress line (when
+/// checkpointing is enabled) and, for an incomplete sweep, the
+/// partial-sweep notice. Returns true when the sweep is complete and
+/// aggregates may be shown -- callers must suppress aggregate output (and
+/// typically exit) on false, so a sharded process never prints a partial
+/// curve as if it were the merged result.
+[[nodiscard]] bool report_sweep_progress(std::ostream& os,
+                                         const SweepCheckpoint& checkpoint,
+                                         const SweepOutcome& outcome);
+
+}  // namespace ethsm::support
+
+#endif  // ETHSM_SUPPORT_CHECKPOINT_H

@@ -34,9 +34,15 @@ std::optional<double> bisect(const std::function<double(double)>& f, double lo,
 
 std::optional<double> first_true(const std::function<bool(double)>& pred,
                                  double lo, double hi, double tolerance) {
+  return first_true_report(pred, lo, hi, tolerance).value;
+}
+
+FirstTrueReport first_true_report(const std::function<bool(double)>& pred,
+                                  double lo, double hi, double tolerance) {
   ETHSM_EXPECTS(lo <= hi, "first_true: empty interval");
-  if (pred(lo)) return lo;
-  if (!pred(hi)) return std::nullopt;
+  if (pred(lo)) return {lo, CrossingLocation::at_lo};
+  if (!pred(hi)) return {std::nullopt, CrossingLocation::none};
+  const double original_hi = hi;
   while ((hi - lo) > tolerance) {
     const double mid = std::midpoint(lo, hi);
     if (pred(mid)) {
@@ -45,7 +51,12 @@ std::optional<double> first_true(const std::function<bool(double)>& pred,
       lo = mid;
     }
   }
-  return hi;
+  // The bracket never moved off the upper endpoint (or stopped within one
+  // tolerance of it): the sign change sits on hi itself. That is a verdict
+  // about the bracket, not a failure -- the caller decides what it means.
+  const bool on_endpoint = hi >= original_hi - tolerance;
+  return {hi,
+          on_endpoint ? CrossingLocation::at_hi : CrossingLocation::interior};
 }
 
 bool close(double a, double b, double rtol, double atol) noexcept {

@@ -30,6 +30,29 @@ struct BisectOptions {
     const std::function<bool(double)>& pred, double lo, double hi,
     double tolerance = 1e-6);
 
+/// Where a monotone predicate's false->true crossing sits relative to the
+/// search bracket [lo, hi].
+enum class CrossingLocation {
+  at_lo,     ///< pred(lo) already true: crossing at or below the bracket
+  interior,  ///< strictly inside (lo, hi - tolerance)
+  at_hi,     ///< within tolerance of hi: the bracket endpoint itself sits on
+             ///< the sign change -- callers should report, not assume an
+             ///< interior crossing (tightening the tolerance cannot separate
+             ///< the crossing from the endpoint)
+  none,      ///< pred false on the whole bracket
+};
+
+struct FirstTrueReport {
+  std::optional<double> value;  ///< as first_true(); nullopt iff crossing==none
+  CrossingLocation crossing = CrossingLocation::none;
+};
+
+/// first_true with an explicit bracket-verification verdict. The returned
+/// value is bitwise-identical to first_true()'s for every input.
+[[nodiscard]] FirstTrueReport first_true_report(
+    const std::function<bool(double)>& pred, double lo, double hi,
+    double tolerance = 1e-6);
+
 /// Relative/absolute closeness test: |a-b| <= atol + rtol*max(|a|,|b|).
 [[nodiscard]] bool close(double a, double b, double rtol = 1e-9,
                          double atol = 1e-12) noexcept;

@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "support/checkpoint.h"
 #include "support/thread_pool.h"
 
 namespace ethsm::support {
@@ -36,6 +37,77 @@ template <typename F>
   ThreadPool::global().for_each_index(
       n, [&](std::size_t i) { results[i] = fn(i); });
   return results;
+}
+
+/// Result of a checkpointed sweep: an index-ordered result vector plus a
+/// per-index availability mask (an index can be unavailable only when the
+/// sweep is sharded or job-budgeted; an unsharded, unbudgeted run is always
+/// complete).
+template <typename Result>
+struct CheckpointedSweep {
+  std::vector<Result> results;  ///< size n; valid where have[i] != 0
+  std::vector<char> have;       ///< char, not bool: parallel writers
+  SweepOutcome outcome;
+
+  [[nodiscard]] bool complete() const noexcept { return outcome.complete(); }
+};
+
+/// parallel_map with persistence: jobs already present in the checkpoint
+/// store are decoded instead of recomputed; the rest (restricted to this
+/// process's shard and job budget) run on the pool, each result appended to
+/// the store as it completes, so an interrupted sweep resumes where it
+/// stopped. Because jobs are pure functions of their index and payloads are
+/// raw bit patterns, a resumed or sharded sweep is bitwise-identical to a
+/// fresh one. `fingerprint` must cover every parameter the jobs depend on;
+/// records from other fingerprints in the same directory are ignored.
+///
+/// With checkpointing disabled (`!ckpt.enabled()`) this is exactly
+/// parallel_map: sharding and budgets only apply when there is a store to
+/// merge partial results through.
+template <typename Result, typename F>
+[[nodiscard]] CheckpointedSweep<Result> run_checkpointed(
+    const SweepCheckpoint& ckpt, std::uint64_t fingerprint, std::size_t n,
+    F&& fn) {
+  static_assert(std::is_default_constructible_v<Result>,
+                "run_checkpointed pre-allocates result slots");
+  CheckpointedSweep<Result> sweep;
+  sweep.outcome.jobs_total = n;
+
+  if (!ckpt.enabled()) {
+    sweep.results = parallel_map(n, std::forward<F>(fn));
+    sweep.have.assign(n, 1);
+    sweep.outcome.computed = n;
+    return sweep;
+  }
+
+  sweep.results.resize(n);
+  sweep.have.assign(n, 0);
+  CheckpointStore store(ckpt.directory, fingerprint, ckpt.shard);
+
+  std::vector<std::size_t> todo;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (store.contains(i)) {
+      ByteReader reader(store.payload(i));
+      sweep.results[i] = CheckpointCodec<Result>::decode(reader);
+      sweep.have[i] = 1;
+      ++sweep.outcome.loaded;
+    } else if (ckpt.shard.owns(i) && todo.size() < ckpt.max_new_jobs) {
+      todo.push_back(i);
+    }
+  }
+
+  parallel_for(todo.size(), [&](std::size_t k) {
+    const std::size_t i = todo[k];
+    Result result = fn(i);
+    ByteWriter writer;
+    CheckpointCodec<Result>::encode(writer, result);
+    store.append(i, writer.bytes());  // thread-safe, flushed per record
+    sweep.results[i] = std::move(result);
+    sweep.have[i] = 1;
+  });
+  sweep.outcome.computed = todo.size();
+  sweep.outcome.skipped = n - sweep.outcome.loaded - sweep.outcome.computed;
+  return sweep;
 }
 
 }  // namespace ethsm::support

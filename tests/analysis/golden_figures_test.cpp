@@ -1,0 +1,220 @@
+// Golden-figure regression suite: pins the paper-figure series (Fig. 8/9
+// revenue points, Fig. 10 thresholds, Table II uncle distances) against
+// checked-in reference values with explicit tolerances, so numerical
+// refactors (solver changes, truncation tweaks, reorderings) cannot silently
+// drift the reproduced results. The reference values were produced by this
+// repository's own Markov pipeline and cross-checked against the paper's
+// reported numbers (Niu & Feng, ICDCS 2019) and, where closed forms exist
+// (Eq. (3)-(5) here; cf. Grunspan & Perez-Marco, arXiv:1904.13330, for the
+// independent closed-form treatment of Ethereum selfish mining), against
+// analytic values at tight tolerance.
+//
+// Tolerances, by family:
+//   * closed forms              1e-12  (pure arithmetic)
+//   * Markov revenue rates      5e-6   (power-iteration + truncation slack)
+//   * bisection thresholds      5e-5   (search tolerance 1e-6 plus solver)
+//   * Table II distributions    5e-6
+// A failure here means the numbers moved -- decide deliberately whether the
+// new values are more faithful, and regenerate the constants if so.
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "analysis/bitcoin_es.h"
+#include "analysis/revenue.h"
+#include "analysis/sweep.h"
+#include "analysis/uncle_distance.h"
+
+namespace ethsm {
+namespace {
+
+constexpr double kClosedFormTol = 1e-12;
+constexpr double kRevenueTol = 5e-6;
+constexpr double kThresholdTol = 5e-5;
+constexpr double kDistributionTol = 5e-6;
+
+struct Fig8Golden {
+  double alpha;
+  double pool_revenue;
+  double honest_revenue;
+  double total_revenue;
+  double uncle_rate;
+};
+
+// Fig. 8 setup: gamma = 0.5, flat Ku = 4/8, scenario 1, max_lead 80 (the
+// revenue_curve defaults). One row per grid point.
+constexpr std::array<Fig8Golden, 19> kFig8 = {{
+    {0.000, 0.000000000000, 1.000000000000, 1.000000000000, 0.000000000000},
+    {0.025, 0.019832590377, 0.993128780987, 1.012961371364, 0.024397875509},
+    {0.050, 0.041717597539, 0.983611806173, 1.025329403712, 0.047678877576},
+    {0.075, 0.065507489180, 0.971661932806, 1.037169421986, 0.069965970798},
+    {0.100, 0.091082551370, 0.957459518170, 1.048542069540, 0.091373307369},
+    {0.125, 0.118350591317, 0.941153948479, 1.059504539796, 0.112008545498},
+    {0.150, 0.147247941475, 0.922863760716, 1.070111702191, 0.131974968830},
+    {0.175, 0.177742091702, 0.902674977011, 1.080417068713, 0.151373305812},
+    {0.200, 0.209836514074, 0.880636918918, 1.090473432993, 0.170302932692},
+    {0.225, 0.243578628737, 0.856754149293, 1.100332778029, 0.188861699820},
+    {0.250, 0.279072509644, 0.830972048409, 1.110044558053, 0.207142697512},
+    {0.275, 0.316499084054, 0.803151343534, 1.119650427588, 0.225224334283},
+    {0.300, 0.356148729462, 0.773022546874, 1.129171276337, 0.243145931928},
+    {0.325, 0.398475388308, 0.740102155765, 1.138577544073, 0.260851847667},
+    {0.350, 0.444190103782, 0.703532486242, 1.147722590024, 0.278066051810},
+    {0.375, 0.494431530054, 0.661760309072, 1.156191839126, 0.294008167767},
+    {0.400, 0.551098929061, 0.611851464278, 1.162950393339, 0.306730152168},
+    {0.425, 0.617563698938, 0.547909101214, 1.165472800151, 0.311478212049},
+    {0.450, 0.700384806971, 0.457011369659, 1.157396176631, 0.296275156011},
+}};
+
+TEST(GoldenFig8, RevenueCurveMatchesCheckedInSeries) {
+  const auto curve = analysis::revenue_curve(analysis::RevenueCurveOptions{});
+  ASSERT_EQ(curve.size(), kFig8.size());
+  for (std::size_t i = 0; i < kFig8.size(); ++i) {
+    SCOPED_TRACE("alpha = " + std::to_string(kFig8[i].alpha));
+    EXPECT_NEAR(curve[i].alpha, kFig8[i].alpha, 1e-12);
+    EXPECT_NEAR(curve[i].pool_revenue, kFig8[i].pool_revenue, kRevenueTol);
+    EXPECT_NEAR(curve[i].honest_revenue, kFig8[i].honest_revenue, kRevenueTol);
+    EXPECT_NEAR(curve[i].total_revenue, kFig8[i].total_revenue, kRevenueTol);
+    EXPECT_NEAR(curve[i].uncle_rate, kFig8[i].uncle_rate, kRevenueTol);
+  }
+}
+
+TEST(GoldenFig9, LandmarkTotalsAndPoolSeries) {
+  // "soars to 135%": flat 7/8 paid regardless of distance (horizon 100).
+  {
+    analysis::RevenueCurveOptions opt;
+    opt.rewards = rewards::RewardConfig::ethereum_flat(7.0 / 8.0, 100);
+    opt.alphas = {0.45};
+    opt.max_lead = 300;
+    const auto curve = analysis::revenue_curve(opt);
+    EXPECT_NEAR(curve[0].total_revenue, 1.347579737453, kRevenueTol);
+  }
+  // Ablation: Ethereum's structural distance cap of 6 tempers it.
+  {
+    analysis::RevenueCurveOptions opt;
+    opt.rewards = rewards::RewardConfig::ethereum_flat(7.0 / 8.0);
+    opt.alphas = {0.45};
+    opt.max_lead = 300;
+    const auto curve = analysis::revenue_curve(opt);
+    EXPECT_NEAR(curve[0].total_revenue, 1.268499332935, kRevenueTol);
+  }
+  // Pool/total at alpha = 0.3 for the three flat schedules (max_lead 120).
+  const struct {
+    double ku;
+    double pool;
+    double total;
+  } kFig9At03[] = {
+      {2.0 / 8.0, 0.342737269456, 1.068641453382},
+      {4.0 / 8.0, 0.356174198158, 1.129656078611},
+      {7.0 / 8.0, 0.376329591211, 1.221178016453},
+  };
+  for (const auto& g : kFig9At03) {
+    SCOPED_TRACE("ku = " + std::to_string(g.ku));
+    analysis::RevenueCurveOptions opt;
+    opt.rewards = rewards::RewardConfig::ethereum_flat(g.ku, 100);
+    opt.alphas = {0.3};
+    opt.max_lead = 120;
+    const auto curve = analysis::revenue_curve(opt);
+    EXPECT_NEAR(curve[0].pool_revenue, g.pool, kRevenueTol);
+    EXPECT_NEAR(curve[0].total_revenue, g.total, kRevenueTol);
+  }
+}
+
+struct Fig10Golden {
+  double gamma;
+  double bitcoin;
+  double scenario1;
+  double scenario2;
+};
+
+// Byzantium Ku(.), threshold search tolerance 1e-6, max_lead 60.
+constexpr std::array<Fig10Golden, 5> kFig10 = {{
+    {0.00, 0.333333333333, 0.097752459335, 0.286478704071},
+    {0.25, 0.300000000000, 0.077020246506, 0.282352852631},
+    {0.50, 0.250000000000, 0.054088787079, 0.274290855026},
+    {0.75, 0.166666666667, 0.028576763916, 0.251852248001},
+    {1.00, 0.000000000000, 0.000100000000, 0.000100000000},
+}};
+
+TEST(GoldenFig10, ThresholdCurveMatchesCheckedInSeries) {
+  analysis::ThresholdCurveOptions opt;
+  opt.gammas = {0.0, 0.25, 0.5, 0.75, 1.0};
+  opt.threshold.tolerance = 1e-6;
+  const auto curve = analysis::threshold_curve(opt);
+  ASSERT_EQ(curve.size(), kFig10.size());
+  for (std::size_t i = 0; i < kFig10.size(); ++i) {
+    SCOPED_TRACE("gamma = " + std::to_string(kFig10[i].gamma));
+    // The Bitcoin column is the Eyal-Sirer closed form (1-g)/(3-2g): exact.
+    EXPECT_NEAR(curve[i].bitcoin, kFig10[i].bitcoin, kClosedFormTol);
+    ASSERT_TRUE(curve[i].ethereum_scenario1.has_value());
+    ASSERT_TRUE(curve[i].ethereum_scenario2.has_value());
+    EXPECT_NEAR(*curve[i].ethereum_scenario1, kFig10[i].scenario1,
+                kThresholdTol);
+    EXPECT_NEAR(*curve[i].ethereum_scenario2, kFig10[i].scenario2,
+                kThresholdTol);
+  }
+}
+
+struct Table2Golden {
+  double alpha;
+  double expectation;
+  std::array<double, 7> fraction;  // index 0 unused
+};
+
+// gamma = 0.5, max_lead 120 (the bench_table2 setup).
+const std::array<Table2Golden, 2> kTable2 = {{
+    {0.30,
+     1.747908255920,
+     {0.0, 0.527022831372, 0.295364443956, 0.110947820545, 0.042857983603,
+      0.016960382555, 0.006846537970}},
+    {0.45,
+     2.726486877420,
+     {0.0, 0.284137180571, 0.248508693979, 0.170858836667, 0.125183687353,
+      0.095848559098, 0.075463042331}},
+}};
+
+TEST(GoldenTable2, UncleDistanceDistributionsMatchCheckedInSeries) {
+  for (const auto& golden : kTable2) {
+    SCOPED_TRACE("alpha = " + std::to_string(golden.alpha));
+    const auto d = analysis::honest_uncle_distance_distribution(
+        {golden.alpha, 0.5}, 120);
+    EXPECT_NEAR(d.expectation, golden.expectation, kDistributionTol);
+    for (int i = 1; i <= 6; ++i) {
+      SCOPED_TRACE("distance " + std::to_string(i));
+      EXPECT_NEAR(d.fraction[i], golden.fraction[i], kDistributionTol);
+    }
+  }
+}
+
+TEST(GoldenClosedForms, MarkovRatesAgreeWithAnalyticFormulas) {
+  // Independent cross-check: the integrated Appendix-B reward flows must
+  // reproduce the paper's closed forms Eq. (3)-(5) (the same quantities
+  // Grunspan & Perez-Marco derive in closed form for Ethereum) far below the
+  // golden tolerance.
+  for (double alpha : {0.1, 0.25, 0.4}) {
+    for (double gamma : {0.0, 0.5, 1.0}) {
+      SCOPED_TRACE("alpha=" + std::to_string(alpha) +
+                   " gamma=" + std::to_string(gamma));
+      // The small-gamma / large-alpha corner needs a deep truncation for the
+      // stationary tail to drop below the comparison tolerance; use the
+      // library's own advisor rather than a fixed depth.
+      const markov::MiningParams params{alpha, gamma};
+      const auto r = analysis::compute_revenue(
+          params, rewards::RewardConfig::ethereum_byzantium(),
+          analysis::recommended_max_lead(params));
+      EXPECT_NEAR(r.pool_static,
+                  analysis::pool_static_rate_closed_form(alpha, gamma), 1e-8);
+      EXPECT_NEAR(r.honest_static,
+                  analysis::honest_static_rate_closed_form(alpha, gamma), 1e-8);
+      EXPECT_NEAR(r.pool_uncle,
+                  analysis::pool_uncle_rate_closed_form(alpha, gamma, 7.0 / 8.0),
+                  1e-8);
+    }
+  }
+  // Eyal-Sirer landmarks, exact: 1/3 at gamma 0 and 1/4 at gamma 1/2.
+  EXPECT_NEAR(analysis::eyal_sirer_threshold(0.0), 1.0 / 3.0, kClosedFormTol);
+  EXPECT_NEAR(analysis::eyal_sirer_threshold(0.5), 0.25, kClosedFormTol);
+}
+
+}  // namespace
+}  // namespace ethsm

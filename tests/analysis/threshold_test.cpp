@@ -120,6 +120,77 @@ TEST(Threshold, HigherUncleRewardLowersThreshold) {
   }
 }
 
+TEST(ThresholdBracketReport, InteriorCrossingIsTheCommonCase) {
+  const auto report = profitability_threshold_report(
+      0.5, kByz, Scenario::regular_rate_one, fast_options());
+  ASSERT_TRUE(report.alpha.has_value());
+  EXPECT_EQ(report.bracket, ThresholdBracket::interior_crossing);
+  EXPECT_NEAR(*report.alpha, 0.054, 0.002);
+}
+
+TEST(ThresholdBracketReport, GammaOneReportsAlwaysProfitable) {
+  const auto report = profitability_threshold_report(
+      1.0, kByz, Scenario::regular_rate_one, fast_options());
+  ASSERT_TRUE(report.alpha.has_value());
+  EXPECT_EQ(report.bracket, ThresholdBracket::always_profitable);
+  EXPECT_EQ(*report.alpha, fast_options().alpha_min);
+}
+
+TEST(ThresholdBracketReport, ShrunkBracketReportsNeverProfitable) {
+  ThresholdOptions o = fast_options();
+  o.alpha_max = 0.02;  // well below the gamma = 0.5 Byzantium threshold
+  const auto report = profitability_threshold_report(
+      0.5, kByz, Scenario::regular_rate_one, o);
+  EXPECT_FALSE(report.alpha.has_value());
+  EXPECT_EQ(report.bracket, ThresholdBracket::never_profitable);
+}
+
+TEST(ThresholdBracketReport, SignChangeOnAlphaMaxIsReportedNotFatal) {
+  // Regression for the bracket-endpoint edge: when alpha_max sits exactly on
+  // the sign change at tight tolerance, the search must *report* the verdict
+  // (at_alpha_max) rather than fail or masquerade as an interior crossing.
+  // Exercised for gamma values around the scenario-2 knee, where the
+  // scenario-2 threshold is largest and a conservatively chosen alpha_max is
+  // most likely to land on it.
+  ThresholdOptions tight = fast_options();
+  tight.tolerance = 1e-7;
+  for (double gamma : {0.40, 0.45, 0.50, 0.55, 0.60}) {
+    SCOPED_TRACE("gamma=" + std::to_string(gamma));
+    const auto interior = profitability_threshold_report(
+        gamma, kByz, Scenario::regular_and_uncle_rate_one, tight);
+    ASSERT_TRUE(interior.alpha.has_value());
+    ASSERT_EQ(interior.bracket, ThresholdBracket::interior_crossing);
+
+    // Pin the bracket's upper end exactly onto the found sign change.
+    ThresholdOptions pinned = tight;
+    pinned.alpha_max = *interior.alpha;
+    const auto on_edge = profitability_threshold_report(
+        gamma, kByz, Scenario::regular_and_uncle_rate_one, pinned);
+    ASSERT_TRUE(on_edge.alpha.has_value());
+    EXPECT_EQ(on_edge.bracket, ThresholdBracket::at_alpha_max);
+    EXPECT_NEAR(*on_edge.alpha, *interior.alpha, pinned.tolerance * 2);
+
+    // A hair below the crossing the bracket contains no sign change at all.
+    ThresholdOptions below = tight;
+    below.alpha_max = *interior.alpha - 1e-4;
+    const auto under = profitability_threshold_report(
+        gamma, kByz, Scenario::regular_and_uncle_rate_one, below);
+    EXPECT_FALSE(under.alpha.has_value());
+    EXPECT_EQ(under.bracket, ThresholdBracket::never_profitable);
+  }
+}
+
+TEST(ThresholdBracketReport, AlphaMatchesLegacyInterfaceBitwise) {
+  for (double gamma : {0.0, 0.3, 0.7}) {
+    const auto report = profitability_threshold_report(
+        gamma, kByz, Scenario::regular_rate_one, fast_options());
+    const auto legacy = profitability_threshold(
+        gamma, kByz, Scenario::regular_rate_one, fast_options());
+    ASSERT_EQ(report.alpha.has_value(), legacy.has_value());
+    if (legacy) EXPECT_EQ(*report.alpha, *legacy);  // exact, not approximate
+  }
+}
+
 TEST(SelfishAdvantage, NegativeBelowThresholdPositiveAbove) {
   EXPECT_LT(selfish_advantage(0.10, 0.5, kFlat, Scenario::regular_rate_one),
             0.0);

@@ -1,0 +1,355 @@
+// Checkpoint-store and run_checkpointed contract tests: on-disk round trips,
+// corruption/staleness detection, shard ownership, and the bitwise
+// resumed-equals-fresh guarantee at the support layer. All suites here are
+// named Checkpoint* so `ctest -L checkpoint` selects them.
+
+#include "support/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "support/parallel.h"
+
+namespace ethsm::support {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh unique directory under the test temp root.
+std::string temp_dir(const std::string& tag) {
+  static int counter = 0;
+  const fs::path dir = fs::path(::testing::TempDir()) /
+                       ("ethsm_ckpt_" + tag + "_" + std::to_string(counter++));
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+std::vector<std::byte> payload_of(std::uint64_t a, double b) {
+  ByteWriter w;
+  w.u64(a);
+  w.f64(b);
+  return w.bytes();
+}
+
+TEST(CheckpointShardSpec, ParsesWellFormedSpecs) {
+  const auto s = parse_shard("2/5");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->index, 2u);
+  EXPECT_EQ(s->count, 5u);
+  EXPECT_TRUE(s->owns(2));
+  EXPECT_TRUE(s->owns(7));
+  EXPECT_FALSE(s->owns(3));
+}
+
+TEST(CheckpointShardSpec, RejectsMalformedSpecs) {
+  for (const char* bad : {"", "3", "3/", "/4", "4/4", "5/4", "a/b", "1/0",
+                          "1/2x", "x1/2", "-1/2"}) {
+    EXPECT_FALSE(parse_shard(bad).has_value()) << "input: " << bad;
+  }
+}
+
+TEST(CheckpointShardSpec, DefaultOwnsEverything) {
+  const ShardSpec whole;
+  EXPECT_TRUE(whole.is_whole_sweep());
+  for (std::size_t j : {0u, 1u, 17u}) EXPECT_TRUE(whole.owns(j));
+}
+
+TEST(CheckpointFingerprint, SensitiveToEveryMixedValue) {
+  const auto base = [] {
+    Fingerprint fp;
+    fp.mix("driver/v1");
+    fp.mix(0.25);
+    fp.mix(std::uint64_t{100});
+    return fp.digest();
+  }();
+  {
+    Fingerprint fp;
+    fp.mix("driver/v2");
+    fp.mix(0.25);
+    fp.mix(std::uint64_t{100});
+    EXPECT_NE(fp.digest(), base);
+  }
+  {
+    Fingerprint fp;
+    fp.mix("driver/v1");
+    fp.mix(0.25000001);
+    fp.mix(std::uint64_t{100});
+    EXPECT_NE(fp.digest(), base);
+  }
+  {
+    Fingerprint fp;
+    fp.mix("driver/v1");
+    fp.mix(0.25);
+    fp.mix(std::uint64_t{101});
+    EXPECT_NE(fp.digest(), base);
+  }
+}
+
+TEST(CheckpointBytes, RoundTripsBitPatterns) {
+  ByteWriter w;
+  w.u32(0xdeadbeefu);
+  w.u64(~0ULL);
+  w.f64(0.1);
+  w.f64(-0.0);
+  w.f64(std::numeric_limits<double>::quiet_NaN());
+  w.boolean(true);
+  w.f64_vec({1.0, -2.5, 3e300});
+  w.u64_vec({7, 8});
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), ~0ULL);
+  EXPECT_EQ(r.f64(), 0.1);
+  const double neg_zero = r.f64();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));
+  EXPECT_TRUE(std::isnan(r.f64()));  // NaN payload preserved as bits
+  EXPECT_TRUE(r.boolean());
+  EXPECT_EQ(r.f64_vec(), (std::vector<double>{1.0, -2.5, 3e300}));
+  EXPECT_EQ(r.u64_vec(), (std::vector<std::uint64_t>{7, 8}));
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(CheckpointBytes, ReaderThrowsOnUnderrun) {
+  ByteWriter w;
+  w.u32(1);
+  ByteReader r(w.bytes());
+  (void)r.u32();
+  EXPECT_THROW((void)r.u64(), std::runtime_error);
+}
+
+TEST(CheckpointStoreTest, PersistsAndReloadsRecords) {
+  const std::string dir = temp_dir("roundtrip");
+  {
+    CheckpointStore store(dir, 0xabcdULL);
+    EXPECT_EQ(store.size(), 0u);
+    store.append(3, payload_of(3, 0.3));
+    store.append(1, payload_of(1, 0.1));
+  }
+  CheckpointStore reloaded(dir, 0xabcdULL);
+  ASSERT_EQ(reloaded.size(), 2u);
+  ASSERT_TRUE(reloaded.contains(1));
+  ASSERT_TRUE(reloaded.contains(3));
+  EXPECT_FALSE(reloaded.contains(2));
+  ByteReader r(reloaded.payload(3));
+  EXPECT_EQ(r.u64(), 3u);
+  EXPECT_EQ(r.f64(), 0.3);
+}
+
+TEST(CheckpointStoreTest, IgnoresStaleFingerprintFiles) {
+  const std::string dir = temp_dir("stale");
+  {
+    CheckpointStore old_sweep(dir, 0x111ULL);
+    old_sweep.append(0, payload_of(0, 1.0));
+    old_sweep.append(1, payload_of(1, 2.0));
+  }
+  // Same directory, different sweep fingerprint: old records must not leak.
+  CheckpointStore new_sweep(dir, 0x222ULL);
+  EXPECT_EQ(new_sweep.size(), 0u);
+  new_sweep.append(0, payload_of(0, 9.0));
+  // And the old sweep still reads its own records back.
+  CheckpointStore old_again(dir, 0x111ULL);
+  EXPECT_EQ(old_again.size(), 2u);
+}
+
+TEST(CheckpointStoreTest, TruncatedTailLosesOnlyTheLastRecord) {
+  const std::string dir = temp_dir("truncated");
+  std::string file;
+  {
+    CheckpointStore store(dir, 0x333ULL);
+    store.append(0, payload_of(0, 1.0));
+    store.append(1, payload_of(1, 2.0));
+    file = store.own_file_path();
+  }
+  // Chop a few bytes off the final record, as a kill mid-append would.
+  fs::resize_file(file, fs::file_size(file) - 5);
+  CheckpointStore reloaded(dir, 0x333ULL);
+  EXPECT_EQ(reloaded.size(), 1u);
+  EXPECT_TRUE(reloaded.contains(0));
+  EXPECT_FALSE(reloaded.contains(1));
+}
+
+TEST(CheckpointStoreTest, CorruptedPayloadStopsTrustingTheFile) {
+  const std::string dir = temp_dir("corrupt");
+  std::string file;
+  {
+    CheckpointStore store(dir, 0x444ULL);
+    store.append(0, payload_of(0, 1.0));
+    store.append(1, payload_of(1, 2.0));
+    file = store.own_file_path();
+  }
+  // Flip one byte inside the first record's payload (header is 24 bytes,
+  // record header is 16): the checksum must reject it, and everything after
+  // the corrupt record is untrusted too.
+  {
+    std::fstream f(file, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(24 + 16 + 4);
+    char byte = 0;
+    f.seekg(24 + 16 + 4);
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.seekp(24 + 16 + 4);
+    f.write(&byte, 1);
+  }
+  CheckpointStore reloaded(dir, 0x444ULL);
+  EXPECT_EQ(reloaded.size(), 0u);
+}
+
+TEST(CheckpointStoreTest, AppendAfterTruncationRepairsTheTail) {
+  const std::string dir = temp_dir("repair");
+  std::string file;
+  {
+    CheckpointStore store(dir, 0x555ULL);
+    store.append(0, payload_of(0, 1.0));
+    store.append(1, payload_of(1, 2.0));
+    file = store.own_file_path();
+  }
+  fs::resize_file(file, fs::file_size(file) - 3);  // record 1 now truncated
+  {
+    // Reopening for writing drops the dead tail, then appends must land on a
+    // clean boundary and stay readable.
+    CheckpointStore store(dir, 0x555ULL);
+    EXPECT_EQ(store.size(), 1u);
+    store.append(2, payload_of(2, 3.0));
+  }
+  CheckpointStore reloaded(dir, 0x555ULL);
+  EXPECT_EQ(reloaded.size(), 2u);
+  EXPECT_TRUE(reloaded.contains(0));
+  EXPECT_TRUE(reloaded.contains(2));
+}
+
+TEST(CheckpointStoreTest, TornHeaderIsRepairedNotAppendedAfter) {
+  // Regression: a SIGKILL while the very first append is flushing the header
+  // leaves the own file shorter than a header. Later runs must rewrite it
+  // from scratch -- not append records after the garbage, which would make
+  // every future record permanently unreadable.
+  const std::string dir = temp_dir("torn_header");
+  std::string file;
+  {
+    CheckpointStore store(dir, 0x777ULL);
+    store.append(0, payload_of(0, 1.0));
+    file = store.own_file_path();
+  }
+  fs::resize_file(file, 10);  // torn mid-header
+  {
+    CheckpointStore store(dir, 0x777ULL);
+    EXPECT_EQ(store.size(), 0u);
+    store.append(1, payload_of(1, 2.0));
+  }
+  CheckpointStore reloaded(dir, 0x777ULL);
+  EXPECT_EQ(reloaded.size(), 1u);
+  EXPECT_TRUE(reloaded.contains(1));
+}
+
+TEST(CheckpointStoreTest, CorruptSizeFieldDoesNotDriveAllocation) {
+  // A bit-flipped size field must be rejected against the file length before
+  // any allocation happens (no multi-GiB vector from a 100-byte file).
+  const std::string dir = temp_dir("corrupt_size");
+  std::string file;
+  {
+    CheckpointStore store(dir, 0x888ULL);
+    store.append(0, payload_of(0, 1.0));
+    file = store.own_file_path();
+  }
+  {
+    std::fstream f(file, std::ios::binary | std::ios::in | std::ios::out);
+    const std::uint64_t huge = 0xFFFF0000ULL;
+    f.seekp(24 + 8);  // the first record's size field
+    f.write(reinterpret_cast<const char*>(&huge), sizeof huge);
+  }
+  CheckpointStore reloaded(dir, 0x888ULL);  // must not throw or OOM
+  EXPECT_EQ(reloaded.size(), 0u);
+}
+
+TEST(CheckpointStoreTest, GarbageFilesAreIgnored) {
+  const std::string dir = temp_dir("garbage");
+  fs::create_directories(dir);
+  std::ofstream(dir + "/noise.ethsmck") << "not a checkpoint at all";
+  std::ofstream(dir + "/short.ethsmck") << "tiny";
+  CheckpointStore store(dir, 0x666ULL);
+  EXPECT_EQ(store.size(), 0u);
+  store.append(0, payload_of(0, 1.0));
+  CheckpointStore reloaded(dir, 0x666ULL);
+  EXPECT_EQ(reloaded.size(), 1u);
+}
+
+// ------------------------------------------------------- run_checkpointed --
+
+double job_value(std::size_t i) {
+  // An irrational-ish pure function of the index: any reordering or seed
+  // drift changes bits.
+  return std::sin(static_cast<double>(i) * 1.618033988749895) + 1.0 / (i + 1.0);
+}
+
+TEST(CheckpointedRun, DisabledMatchesParallelMap) {
+  const auto plain = parallel_map(10, job_value);
+  const auto sweep =
+      run_checkpointed<double>(SweepCheckpoint{}, 0x1ULL, 10, job_value);
+  ASSERT_TRUE(sweep.complete());
+  EXPECT_EQ(sweep.results, plain);
+  EXPECT_EQ(sweep.outcome.computed, 10u);
+}
+
+TEST(CheckpointedRun, InterruptedThenResumedIsBitwiseIdentical) {
+  const std::size_t n = 23;
+  const auto fresh =
+      run_checkpointed<double>(SweepCheckpoint{}, 0x2ULL, n, job_value);
+
+  SweepCheckpoint ckpt;
+  ckpt.directory = temp_dir("resume");
+  ckpt.max_new_jobs = 7;  // "interrupt" after a bounded job budget
+  std::size_t total_computed = 0;
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    const auto partial = run_checkpointed<double>(ckpt, 0x2ULL, n, job_value);
+    total_computed += partial.outcome.computed;
+    if (partial.complete()) {
+      EXPECT_EQ(partial.results, fresh.results);  // exact double equality
+      EXPECT_EQ(total_computed, n);               // nothing ran twice
+      return;
+    }
+  }
+  FAIL() << "resume never completed";
+}
+
+TEST(CheckpointedRun, FourWayShardMergeIsBitwiseIdentical) {
+  const std::size_t n = 18;
+  const auto fresh =
+      run_checkpointed<double>(SweepCheckpoint{}, 0x3ULL, n, job_value);
+
+  SweepCheckpoint ckpt;
+  ckpt.directory = temp_dir("shard4");
+  for (std::uint32_t k = 0; k < 4; ++k) {
+    ckpt.shard = ShardSpec{k, 4};
+    const auto part = run_checkpointed<double>(ckpt, 0x3ULL, n, job_value);
+    if (k < 3) EXPECT_FALSE(part.complete());
+  }
+  // Merge pass: every record comes from disk, none recomputed.
+  ckpt.shard = ShardSpec{};
+  const auto merged = run_checkpointed<double>(ckpt, 0x3ULL, n, job_value);
+  ASSERT_TRUE(merged.complete());
+  EXPECT_EQ(merged.outcome.loaded, n);
+  EXPECT_EQ(merged.outcome.computed, 0u);
+  EXPECT_EQ(merged.results, fresh.results);
+}
+
+TEST(CheckpointedRun, ShardsOnlyComputeOwnedIndices) {
+  SweepCheckpoint ckpt;
+  ckpt.directory = temp_dir("owned");
+  ckpt.shard = ShardSpec{1, 3};
+  const auto part = run_checkpointed<std::uint64_t>(
+      ckpt, 0x4ULL, 10, [](std::size_t i) { return std::uint64_t{i}; });
+  EXPECT_EQ(part.outcome.computed, 3u);  // indices 1, 4, 7
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(part.have[i] != 0, i % 3 == 1) << "index " << i;
+  }
+}
+
+}  // namespace
+}  // namespace ethsm::support

@@ -81,5 +81,43 @@ TEST(Ipow, ZeroExponentIsOne) {
   EXPECT_DOUBLE_EQ(ipow(123.0, 0), 1.0);
 }
 
+TEST(FirstTrueReport, ClassifiesInteriorCrossing) {
+  const auto r =
+      first_true_report([](double v) { return v >= 0.37; }, 0.0, 1.0, 1e-9);
+  ASSERT_TRUE(r.value.has_value());
+  EXPECT_NEAR(*r.value, 0.37, 1e-8);
+  EXPECT_EQ(r.crossing, CrossingLocation::interior);
+}
+
+TEST(FirstTrueReport, ClassifiesEndpoints) {
+  const auto at_lo = first_true_report([](double) { return true; }, 0.25, 1.0);
+  EXPECT_EQ(at_lo.crossing, CrossingLocation::at_lo);
+  EXPECT_DOUBLE_EQ(at_lo.value.value(), 0.25);
+
+  const auto none = first_true_report([](double) { return false; }, 0.0, 1.0);
+  EXPECT_EQ(none.crossing, CrossingLocation::none);
+  EXPECT_FALSE(none.value.has_value());
+}
+
+TEST(FirstTrueReport, SignChangeOnHiIsReportedAsAtHi) {
+  // The predicate flips exactly at the upper bracket endpoint: every interior
+  // probe is false, so the bisection collapses onto hi. That must come back
+  // as at_hi -- the caller cannot distinguish "threshold == hi" from
+  // "threshold just beyond hi" and should not treat it as interior.
+  const auto r = first_true_report([](double v) { return v >= 1.0; }, 0.0, 1.0,
+                                   1e-9);
+  ASSERT_TRUE(r.value.has_value());
+  EXPECT_EQ(r.crossing, CrossingLocation::at_hi);
+  EXPECT_NEAR(*r.value, 1.0, 1e-8);
+}
+
+TEST(FirstTrueReport, ValueIsBitwiseIdenticalToFirstTrue) {
+  const auto pred = [](double v) { return v * v >= 0.2; };
+  const auto report = first_true_report(pred, 0.0, 1.0, 1e-7);
+  const auto legacy = first_true(pred, 0.0, 1.0, 1e-7);
+  ASSERT_TRUE(report.value && legacy);
+  EXPECT_EQ(*report.value, *legacy);
+}
+
 }  // namespace
 }  // namespace ethsm::support
