@@ -1,80 +1,9 @@
-// Extension bench: live difficulty retargeting (paper Sec. II-C / IV-E2 made
-// dynamic). Runs the selfish-mining attack under an epoch-based controller
-// that pins either the regular-block rate (pre-EIP100, Scenario 1) or the
-// regular+uncle rate (EIP100/Byzantium, Scenario 2), and shows:
-//   1. the convergence trajectory of difficulty and rates,
-//   2. that the steady-state pool revenue per counted block matches the
-//      static Markov analysis' Us for the same scenario,
-//   3. the security meaning: under pre-EIP100 retargeting the attack
-//      *accelerates rewards per wall-clock second*, under EIP100 it cannot.
+// Extension bench: live difficulty retargeting under both controller
+// scenarios, cross-checked against the static analysis. Thin wrapper over
+// the unified experiment API: equivalent to `ethsm run ext_difficulty`.
 
-#include <iostream>
+#include "api/cli.h"
 
-#include "analysis/absolute_revenue.h"
-#include "sim/retarget_sim.h"
-#include "support/table.h"
-
-namespace {
-
-void run_scenario(ethsm::sim::Scenario scenario, double alpha, double gamma) {
-  using ethsm::support::TextTable;
-
-  ethsm::sim::RetargetConfig config;
-  config.base.alpha = alpha;
-  config.base.gamma = gamma;
-  config.base.seed = 0xd1ffULL;
-  config.controller.scenario = scenario;
-  config.controller.target_rate = 1.0;
-  config.controller.initial_difficulty = 1.0;
-  config.epoch_blocks = 500;
-  config.epochs = 60;
-  const auto result = ethsm::sim::run_retarget_simulation(config);
-
-  std::cout << "-- " << to_string(scenario) << " --\n";
-  TextTable table({"epoch", "difficulty", "regular/s", "counted/s",
-                   "pool reward/s"});
-  for (std::size_t i = 0; i < result.epochs.size();
-       i += result.epochs.size() / 6) {
-    const auto& e = result.epochs[i];
-    table.add_row({std::to_string(i), TextTable::num(e.difficulty, 4),
-                   TextTable::num(e.regular_rate, 3),
-                   TextTable::num(e.counted_rate, 3),
-                   TextTable::num(e.pool_reward_rate, 4)});
-  }
-  table.print(std::cout);
-
-  const auto r = ethsm::analysis::compute_revenue({alpha, gamma},
-                                                  config.base.rewards, 80);
-  const double us = ethsm::analysis::pool_absolute_revenue(r, scenario);
-  std::cout << "steady counted rate: "
-            << TextTable::num(result.steady_counted_rate, 4)
-            << " (target 1.0)\n"
-            << "steady pool revenue per counted block: "
-            << TextTable::num(result.steady_pool_revenue_per_counted_block(), 4)
-            << "   static analysis Us = " << TextTable::num(us, 4) << "\n"
-            << "steady total reward rate per second: "
-            << TextTable::num(result.steady_pool_reward_rate +
-                                  result.steady_honest_reward_rate, 4)
-            << "\n\n";
-}
-
-}  // namespace
-
-int main() {
-  const double alpha = 0.30;
-  const double gamma = 0.5;
-  std::cout << "== Extension: selfish mining under live difficulty "
-               "retargeting (alpha = " << alpha << ", gamma = " << gamma
-            << ") ==\n\n";
-
-  run_scenario(ethsm::sim::Scenario::regular_rate_one, alpha, gamma);
-  run_scenario(ethsm::sim::Scenario::regular_and_uncle_rate_one, alpha, gamma);
-
-  std::cout << "Interpretation: with pre-EIP100 retargeting the controller "
-               "lowers difficulty until regular blocks flow at the target\n"
-               "again, so the uncle/nephew payouts come ON TOP -- total "
-               "reward/second exceeds 1 and the attack is cheap (threshold\n"
-               "0.054). EIP100 counts uncles, caps the payout stream, and "
-               "pushes the threshold to 0.274 (see bench_fig10_threshold).\n";
-  return 0;
+int main(int argc, char** argv) {
+  return ethsm::api::legacy_bench_main("ext_difficulty", argc, argv);
 }

@@ -1,108 +1,9 @@
-// Extension bench: stubborn-mining variants (Nayak et al., the paper's
-// ref. [5]) under Ethereum's uncle economy -- the "new mining strategies"
-// the paper's conclusion points to.
-//
-// Compares, by simulation at gamma = 0.5 (Byzantium rewards, Scenario 1),
-// the pool's absolute revenue for Algorithm 1 vs Lead (L), Equal-Fork (F),
-// Trail (T1, T2) and the L+F combination across alpha.
+// Extension bench: stubborn-mining variants (Nayak et al.) under Ethereum's
+// uncle economy. Thin wrapper over the unified experiment API: equivalent to
+// `ethsm run ext_stubborn [--quick] [--checkpoint-dir DIR]`.
 
-#include <iostream>
-#include <vector>
-
-#include "analysis/absolute_revenue.h"
-#include "sim/simulator.h"
-#include "support/checkpoint.h"
-#include "support/csv.h"
-#include "support/table.h"
-#include "support/thread_pool.h"
-
-namespace {
-
-struct Variant {
-  const char* label;
-  ethsm::miner::StubbornConfig config;
-};
-
-ethsm::miner::StubbornConfig make(bool lead, bool fork, int trail) {
-  ethsm::miner::StubbornConfig cfg;
-  cfg.lead_stubborn = lead;
-  cfg.equal_fork_stubborn = fork;
-  cfg.trail_stubbornness = trail;
-  return cfg;
-}
-
-}  // namespace
+#include "api/cli.h"
 
 int main(int argc, char** argv) {
-  using ethsm::support::TextTable;
-  const auto cli = ethsm::support::parse_sweep_cli(argc, argv);
-  const bool quick = cli.quick;
-
-  std::cout << "== Extension: stubborn mining in Ethereum "
-               "(gamma = 0.5, Byzantium, scenario 1) ==\n"
-            << "   sweep threads: "
-            << ethsm::support::ThreadPool::global().concurrency()
-            << " (override with ETHSM_THREADS)\n\n";
-
-  const std::vector<Variant> variants = {
-      {"Alg.1", make(false, false, 0)}, {"L", make(true, false, 0)},
-      {"F", make(false, true, 0)},      {"T1", make(false, false, 1)},
-      {"T2", make(false, false, 2)},    {"L+F", make(true, true, 0)},
-  };
-
-  std::vector<std::string> headers{"alpha", "honest"};
-  for (const auto& v : variants) headers.emplace_back(v.label);
-  headers.emplace_back("best");
-  TextTable table(std::move(headers));
-  ethsm::support::CsvWriter csv(
-      {"alpha", "alg1", "lead", "fork", "t1", "t2", "lf"});
-
-  const int runs = quick ? 3 : 6;
-  const std::uint64_t blocks = quick ? 30'000 : 100'000;
-  ethsm::support::SweepOutcome outcome;
-
-  for (double alpha : {0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45}) {
-    ethsm::sim::SimConfig config;
-    config.alpha = alpha;
-    config.gamma = 0.5;
-    config.num_blocks = blocks;
-    config.seed = 0x57abULL + static_cast<std::uint64_t>(alpha * 1e4);
-
-    std::vector<std::string> row{TextTable::num(alpha, 2),
-                                 TextTable::num(alpha, 2)};
-    std::vector<double> csv_row{alpha};
-    double best = -1.0;
-    std::size_t best_idx = 0;
-    for (std::size_t i = 0; i < variants.size(); ++i) {
-      const auto summary = ethsm::sim::run_stubborn_many(
-          config, variants[i].config, runs, cli.checkpoint, &outcome);
-      const double us = summary
-                            .pool_revenue(
-                                ethsm::sim::Scenario::regular_rate_one)
-                            .mean();
-      row.push_back(TextTable::num(us, 4));
-      csv_row.push_back(us);
-      if (us > best) {
-        best = us;
-        best_idx = i;
-      }
-    }
-    row.emplace_back(variants[best_idx].label);
-    table.add_row(std::move(row));
-    csv.add_row(csv_row);
-  }
-  if (!ethsm::support::report_sweep_progress(std::cout, cli.checkpoint,
-                                             outcome)) {
-    return 0;
-  }
-  table.print(std::cout);
-
-  std::cout << "\nReading guide: for Bitcoin, Nayak et al. showed stubborn "
-               "variants can beat vanilla selfish mining in parts of the\n"
-               "(alpha, gamma) plane; this table answers the same question "
-               "with Ethereum's uncle and nephew rewards in play.\n";
-  if (csv.write_file("ext_stubborn.csv")) {
-    std::cout << "Series written to ext_stubborn.csv\n";
-  }
-  return 0;
+  return ethsm::api::legacy_bench_main("ext_stubborn", argc, argv);
 }

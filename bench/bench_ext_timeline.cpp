@@ -1,62 +1,9 @@
-// Extension bench: the wall-clock economics of defecting. For each alpha,
-// how hard does the attack bleed while difficulty is stale, how much does it
-// earn after retargeting, and how long until it breaks even -- under both
-// difficulty regimes (pre-EIP100 vs EIP100). Phase-1 length is expressed in
-// block intervals; Ethereum retargets per block but the *uncle-aware* signal
-// needs on the order of thousands of blocks to dominate, Bitcoin-style
-// windows need 2016.
+// Extension bench: wall-clock economics of defecting (bleed rate, gain rate,
+// breakeven horizon under both difficulty regimes). Thin wrapper over the
+// unified experiment API: equivalent to `ethsm run ext_timeline`.
 
-#include <iostream>
+#include "api/cli.h"
 
-#include "analysis/attack_timeline.h"
-#include "support/csv.h"
-#include "support/table.h"
-
-int main() {
-  using ethsm::analysis::Scenario;
-  using ethsm::support::TextTable;
-
-  const auto config = ethsm::rewards::RewardConfig::ethereum_byzantium();
-  const double gamma = 0.5;
-  const double phase1 = 2016.0;  // a Bitcoin-style retarget window
-
-  std::cout << "== Extension: time-to-profit of selfish mining "
-               "(gamma = 0.5, Byzantium, phase 1 = 2016 blocks) ==\n\n";
-
-  TextTable table({"alpha", "bleed rate (s1)", "gain rate (s1)",
-                   "breakeven blocks (s1)", "bleed rate (s2)", "gain rate (s2)",
-                   "breakeven blocks (s2)"});
-  ethsm::support::CsvWriter csv({"alpha", "bleed_s1", "gain_s1", "break_s1",
-                                 "bleed_s2", "gain_s2", "break_s2"});
-
-  for (double alpha : {0.06, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45}) {
-    const auto s1 = ethsm::analysis::compute_attack_timeline(
-        {alpha, gamma}, config, Scenario::regular_rate_one);
-    const auto s2 = ethsm::analysis::compute_attack_timeline(
-        {alpha, gamma}, config, Scenario::regular_and_uncle_rate_one);
-    const auto b1 = s1.breakeven_time(phase1);
-    const auto b2 = s2.breakeven_time(phase1);
-    auto fmt = [](const std::optional<double>& b) {
-      return b ? TextTable::num(*b, 0) : std::string("never");
-    };
-    table.add_row({TextTable::num(alpha, 2),
-                   TextTable::num(s1.initial_bleed_rate(), 4),
-                   TextTable::num(s1.steady_gain_rate(), 4), fmt(b1),
-                   TextTable::num(s2.initial_bleed_rate(), 4),
-                   TextTable::num(s2.steady_gain_rate(), 4), fmt(b2)});
-    csv.add_row({alpha, s1.initial_bleed_rate(), s1.steady_gain_rate(),
-                 b1.value_or(-1), s2.initial_bleed_rate(),
-                 s2.steady_gain_rate(), b2.value_or(-1)});
-  }
-  table.print(std::cout);
-
-  std::cout << "\nTwo security margins the steady-state threshold hides:\n"
-               " * even above the threshold the attacker must pre-finance "
-               "the bleed through one retarget window;\n"
-               " * EIP100 both raises the threshold AND stretches the "
-               "repayment period for attackers above it.\n";
-  if (csv.write_file("ext_timeline.csv")) {
-    std::cout << "Series written to ext_timeline.csv\n";
-  }
-  return 0;
+int main(int argc, char** argv) {
+  return ethsm::api::legacy_bench_main("ext_timeline", argc, argv);
 }

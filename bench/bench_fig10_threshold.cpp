@@ -1,75 +1,9 @@
-// Regenerates Fig. 10: the profitability threshold alpha* as a function of
-// the network-capability parameter gamma, for
-//   * Bitcoin (Eyal–Sirer closed form, "Ittay Model"),
-//   * Ethereum Scenario 1 (difficulty tracks regular blocks only),
-//   * Ethereum Scenario 2 (EIP100: difficulty tracks regular + uncles),
-// using the Byzantium Ku(.) schedule.
-//
-// Expected shape (paper Sec. V-C): Scenario 1 sits below Bitcoin everywhere;
-// Scenario 2 rises above Bitcoin for gamma >~ 0.39.
+// Regenerates Fig. 10 (profitability threshold vs gamma for Bitcoin and both
+// Ethereum difficulty scenarios). Thin wrapper over the unified experiment
+// API: equivalent to `ethsm run fig10 [--quick] [--checkpoint-dir DIR]`.
 
-#include <iostream>
-
-#include "analysis/sweep.h"
-#include "support/checkpoint.h"
-#include "support/csv.h"
-#include "support/table.h"
-#include "support/thread_pool.h"
+#include "api/cli.h"
 
 int main(int argc, char** argv) {
-  using ethsm::support::TextTable;
-  const auto cli = ethsm::support::parse_sweep_cli(argc, argv);
-
-  std::cout << "== Fig. 10: profitability threshold vs gamma (Ku(.)) ==\n"
-            << "   sweep threads: "
-            << ethsm::support::ThreadPool::global().concurrency()
-            << " (override with ETHSM_THREADS)\n\n";
-
-  ethsm::analysis::ThresholdCurveOptions opt;
-  if (cli.quick) {
-    opt.gammas = {0.0, 0.25, 0.5, 0.75, 1.0};
-    opt.threshold.tolerance = 1e-4;
-  }
-  opt.checkpoint = cli.checkpoint;
-  ethsm::support::SweepOutcome outcome;
-  const auto curve = ethsm::analysis::threshold_curve(opt, &outcome);
-  if (!ethsm::support::report_sweep_progress(std::cout, cli.checkpoint,
-                                             outcome)) {
-    return 0;
-  }
-
-  TextTable table({"gamma", "Bitcoin (Eyal-Sirer)", "Ethereum scenario 1",
-                   "Ethereum scenario 2", "scn1 vs BTC", "scn2 vs BTC"});
-  ethsm::support::CsvWriter csv({"gamma", "bitcoin", "eth_s1", "eth_s2"});
-  double crossover = -1.0;
-  double previous_delta = -1.0;
-  for (const auto& p : curve) {
-    const std::string s1 = p.ethereum_scenario1
-                               ? TextTable::num(*p.ethereum_scenario1, 4)
-                               : "never";
-    const std::string s2 = p.ethereum_scenario2
-                               ? TextTable::num(*p.ethereum_scenario2, 4)
-                               : "never";
-    const double d1 = p.ethereum_scenario1.value_or(1.0) - p.bitcoin;
-    const double d2 = p.ethereum_scenario2.value_or(1.0) - p.bitcoin;
-    table.add_row({TextTable::num(p.gamma, 2), TextTable::num(p.bitcoin, 4),
-                   s1, s2, d1 < 0 ? "below" : "above",
-                   d2 < 0 ? "below" : "above"});
-    csv.add_row({p.gamma, p.bitcoin, p.ethereum_scenario1.value_or(-1),
-                 p.ethereum_scenario2.value_or(-1)});
-    if (previous_delta <= 0.0 && d2 > 0.0 && crossover < 0.0 && p.gamma > 0) {
-      crossover = p.gamma;
-    }
-    previous_delta = d2;
-  }
-  table.print(std::cout);
-  std::cout << "\nScenario 2 crosses above Bitcoin at gamma ~ "
-            << (crossover > 0 ? TextTable::num(crossover, 2) : "n/a")
-            << "   (paper: gamma ~ 0.39)\n";
-  std::cout << "Landmark: Bitcoin threshold at gamma=0.5 is 0.25 "
-               "(Eyal-Sirer's famous 25%).\n";
-  if (csv.write_file("fig10_threshold.csv")) {
-    std::cout << "Series written to fig10_threshold.csv\n";
-  }
-  return 0;
+  return ethsm::api::legacy_bench_main("fig10", argc, argv);
 }

@@ -1,75 +1,10 @@
-// Regenerates Fig. 8: long-run absolute revenue of the selfish pool and the
-// honest miners vs the pool's hash power alpha, at gamma = 0.5 and flat
-// Ku = 4/8 (the paper's setup), from BOTH the Markov analysis and the
-// discrete-event simulator (1000-miner setup, 10 runs x 100,000 blocks,
-// matching Sec. V). The "Honest mining" reference line is the diagonal
-// Us = alpha.
+// Regenerates Fig. 8 (revenue vs alpha from BOTH the Markov analysis and the
+// simulator). Thin wrapper over the unified experiment API: equivalent to
+// `ethsm run fig8 [--quick] [--checkpoint-dir DIR | --resume] [--shard k/N]`
+// plus the historical fig8_revenue.csv side-file.
 
-#include <iostream>
-
-#include "analysis/sweep.h"
-#include "support/checkpoint.h"
-#include "support/csv.h"
-#include "support/table.h"
-#include "support/thread_pool.h"
+#include "api/cli.h"
 
 int main(int argc, char** argv) {
-  using ethsm::support::TextTable;
-  const auto cli = ethsm::support::parse_sweep_cli(argc, argv);
-
-  std::cout << "== Fig. 8: revenue vs alpha (gamma = 0.5, Ku = 4/8 Ks) ==\n"
-            << "   sweep threads: "
-            << ethsm::support::ThreadPool::global().concurrency()
-            << " (override with ETHSM_THREADS)\n\n";
-
-  ethsm::analysis::RevenueCurveOptions opt;
-  opt.gamma = 0.5;
-  opt.rewards = ethsm::rewards::RewardConfig::ethereum_flat(0.5);
-  opt.scenario = ethsm::analysis::Scenario::regular_rate_one;
-  opt.sim_runs = cli.quick ? 3 : 10;      // paper: average of 10 runs
-  opt.sim_blocks = cli.quick ? 20'000 : 100'000;  // paper: 100,000 per run
-  opt.checkpoint = cli.checkpoint;
-  ethsm::support::SweepOutcome outcome;
-  const auto curve = ethsm::analysis::revenue_curve(opt, &outcome);
-  if (!ethsm::support::report_sweep_progress(std::cout, cli.checkpoint,
-                                             outcome)) {
-    return 0;
-  }
-
-  TextTable table({"alpha", "honest mining", "Us (analysis)", "Us (sim)",
-                   "+-95%", "Uh (analysis)", "Uh (sim)", "+-95%"});
-  ethsm::support::CsvWriter csv({"alpha", "us_analysis", "us_sim", "us_ci",
-                                 "uh_analysis", "uh_sim", "uh_ci"});
-  double threshold = -1.0;
-  for (const auto& p : curve) {
-    table.add_row({TextTable::num(p.alpha, 3), TextTable::num(p.alpha, 3),
-                   TextTable::num(p.pool_revenue, 4),
-                   p.pool_revenue_sim ? TextTable::num(*p.pool_revenue_sim, 4)
-                                      : "-",
-                   p.pool_revenue_sim_ci
-                       ? TextTable::num(*p.pool_revenue_sim_ci, 4)
-                       : "-",
-                   TextTable::num(p.honest_revenue, 4),
-                   p.honest_revenue_sim
-                       ? TextTable::num(*p.honest_revenue_sim, 4)
-                       : "-",
-                   p.honest_revenue_sim_ci
-                       ? TextTable::num(*p.honest_revenue_sim_ci, 4)
-                       : "-"});
-    csv.add_row({p.alpha, p.pool_revenue, p.pool_revenue_sim.value_or(-1),
-                 p.pool_revenue_sim_ci.value_or(-1), p.honest_revenue,
-                 p.honest_revenue_sim.value_or(-1),
-                 p.honest_revenue_sim_ci.value_or(-1)});
-    if (threshold < 0.0 && p.alpha > 0.0 && p.pool_revenue >= p.alpha) {
-      threshold = p.alpha;
-    }
-  }
-  table.print(std::cout);
-  std::cout << "\nFirst grid point where Us >= alpha: "
-            << TextTable::num(threshold, 3)
-            << "   (paper: crossing at alpha = 0.163)\n";
-  if (csv.write_file("fig8_revenue.csv")) {
-    std::cout << "Series written to fig8_revenue.csv\n";
-  }
-  return 0;
+  return ethsm::api::legacy_bench_main("fig8", argc, argv);
 }

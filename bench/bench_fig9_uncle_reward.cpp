@@ -1,122 +1,9 @@
-// Regenerates Fig. 9: revenue of the pool, the honest miners and the whole
-// system under different uncle reward schedules -- flat Ku in {2/8, 4/8, 7/8}
-// ("a fixed value regardless of the distance", hence an uncapped reference
-// horizon) and the Byzantium Ku(.) function. gamma = 0.5, scenario 1.
-//
-// Headline checks printed at the end:
-//   * total revenue at Ku = 7/8, alpha = 0.45 reaches ~135% (the paper's
-//     "soars to 135%"); with Ethereum's structural distance cap of 6 it
-//     reaches only ~127% (recorded as an ablation),
-//   * the Byzantium Ku(.) matches flat 7/8 for the pool's uncle income.
+// Regenerates Fig. 9 (revenue under flat Ku in {2/8, 4/8, 7/8}, the
+// Byzantium Ku(.), and the distance-cap-6 ablation). Thin wrapper over the
+// unified experiment API: equivalent to `ethsm run fig9`.
 
-#include <iostream>
-#include <memory>
-#include <vector>
-
-#include "analysis/sweep.h"
-#include "support/checkpoint.h"
-#include "support/csv.h"
-#include "support/table.h"
-#include "support/thread_pool.h"
-
-namespace {
-
-struct Series {
-  std::string label;
-  ethsm::rewards::RewardConfig config;
-};
-
-}  // namespace
+#include "api/cli.h"
 
 int main(int argc, char** argv) {
-  using ethsm::analysis::Scenario;
-  using ethsm::support::TextTable;
-  using ethsm::rewards::RewardConfig;
-  const auto cli = ethsm::support::parse_sweep_cli(argc, argv);
-
-  std::cout << "== Fig. 9: revenue under different uncle rewards "
-               "(gamma = 0.5) ==\n"
-            << "   sweep threads: "
-            << ethsm::support::ThreadPool::global().concurrency()
-            << " (override with ETHSM_THREADS)\n\n";
-
-  // The paper's flat variants pay at any distance -> horizon 100 (uncapped
-  // in practice: leads beyond 100 have stationary mass < 1e-27).
-  const std::vector<Series> series = {
-      {"Ku=2/8", RewardConfig::ethereum_flat(2.0 / 8.0, 100)},
-      {"Ku=4/8", RewardConfig::ethereum_flat(4.0 / 8.0, 100)},
-      {"Ku=7/8", RewardConfig::ethereum_flat(7.0 / 8.0, 100)},
-      {"Ku(.)", RewardConfig::ethereum_byzantium()},
-  };
-
-  TextTable table({"alpha", "Us 2/8", "Us 4/8", "Us 7/8", "Us Ku(.)",
-                   "Uh 2/8", "Uh 4/8", "Uh 7/8", "Uh Ku(.)", "Tot 2/8",
-                   "Tot 4/8", "Tot 7/8", "Tot Ku(.)"});
-  ethsm::support::CsvWriter csv(
-      {"alpha", "us_2_8", "us_4_8", "us_7_8", "us_byz", "uh_2_8", "uh_4_8",
-       "uh_7_8", "uh_byz", "total_2_8", "total_4_8", "total_7_8",
-       "total_byz"});
-
-  std::vector<std::vector<ethsm::analysis::RevenuePoint>> curves;
-  ethsm::support::SweepOutcome outcome;
-  for (const auto& s : series) {
-    ethsm::analysis::RevenueCurveOptions opt;
-    opt.gamma = 0.5;
-    opt.rewards = s.config;
-    opt.scenario = Scenario::regular_rate_one;
-    opt.max_lead = 120;
-    opt.checkpoint = cli.checkpoint;
-    curves.push_back(ethsm::analysis::revenue_curve(opt, &outcome));
-  }
-  // Ablation series (used at the end): computed up front so the partial-
-  // sweep gate below covers every checkpointed job of this regenerator.
-  ethsm::analysis::RevenueCurveOptions capped;
-  capped.gamma = 0.5;
-  capped.rewards = RewardConfig::ethereum_flat(7.0 / 8.0);  // horizon 6
-  capped.alphas = {0.45};
-  capped.max_lead = 120;
-  capped.checkpoint = cli.checkpoint;
-  const auto capped_curve = ethsm::analysis::revenue_curve(capped, &outcome);
-
-  if (!ethsm::support::report_sweep_progress(std::cout, cli.checkpoint,
-                                             outcome)) {
-    return 0;
-  }
-
-  for (std::size_t i = 0; i < curves[0].size(); ++i) {
-    std::vector<std::string> row{TextTable::num(curves[0][i].alpha, 3)};
-    std::vector<double> csv_row{curves[0][i].alpha};
-    for (const auto& c : curves) {
-      row.push_back(TextTable::num(c[i].pool_revenue, 4));
-      csv_row.push_back(c[i].pool_revenue);
-    }
-    for (const auto& c : curves) {
-      row.push_back(TextTable::num(c[i].honest_revenue, 4));
-      csv_row.push_back(c[i].honest_revenue);
-    }
-    for (const auto& c : curves) {
-      row.push_back(TextTable::num(c[i].total_revenue, 4));
-      csv_row.push_back(c[i].total_revenue);
-    }
-    table.add_row(row);
-    csv.add_row(csv_row);
-  }
-  table.print(std::cout);
-
-  const auto& last78 = curves[2].back();  // Ku = 7/8 at alpha = 0.45
-  std::cout << "\nTotal revenue at Ku=7/8, alpha=0.45: "
-            << TextTable::pct(last78.total_revenue)
-            << "   (paper: soars to 135%)\n";
-
-  std::cout << "Ablation -- same with Ethereum's distance cap of 6: "
-            << TextTable::pct(capped_curve[0].total_revenue) << "\n";
-
-  std::cout << "Pool revenue, Ku(.) vs flat 7/8 at alpha=0.45: "
-            << TextTable::num(curves[3].back().pool_revenue, 4) << " vs "
-            << TextTable::num(curves[2].back().pool_revenue, 4)
-            << "   (paper: Ku(.) acts like 7/8 for the pool)\n";
-  if (csv.write_file("fig9_uncle_reward.csv")) {
-    std::cout << "Series written to fig9_uncle_reward.csv\n";
-  }
-  return 0;
+  return ethsm::api::legacy_bench_main("fig9", argc, argv);
 }

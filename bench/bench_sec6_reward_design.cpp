@@ -1,64 +1,9 @@
-// Regenerates the Sec. VI defense analysis: replacing the Byzantium schedule
-// Ku(d) = (8-d)/8 with a flat Ku = 4/8 raises the profitability threshold
-//   scenario 1: 0.054 -> 0.163,   scenario 2: 0.270 -> 0.356  (gamma = 0.5),
-// plus a sweep over flat values showing the designer's trade-off between
-// decentralization incentive (uncle payout level) and selfish-mining
-// resistance (threshold).
+// Regenerates the Sec. VI defense analysis (Byzantium vs flat schedules and
+// the designer sweep over flat Ku values). Thin wrapper over the unified
+// experiment API: equivalent to `ethsm run sec6_reward_design`.
 
-#include <iostream>
+#include "api/cli.h"
 
-#include "analysis/threshold.h"
-#include "support/csv.h"
-#include "support/table.h"
-
-int main() {
-  using ethsm::analysis::Scenario;
-  using ethsm::support::TextTable;
-
-  std::cout << "== Sec. VI: uncle-reward redesign vs selfish mining "
-               "(gamma = 0.5) ==\n\n";
-
-  const auto byz = ethsm::rewards::RewardConfig::ethereum_byzantium();
-  const auto flat = ethsm::rewards::RewardConfig::ethereum_flat(0.5);
-  ethsm::analysis::ThresholdOptions opt;
-  opt.tolerance = 1e-5;
-
-  auto threshold = [&](const ethsm::rewards::RewardConfig& cfg, Scenario s) {
-    const auto t = ethsm::analysis::profitability_threshold(0.5, cfg, s, opt);
-    return t.value_or(-1.0);
-  };
-
-  TextTable headline({"Schedule", "alpha* scenario 1", "alpha* scenario 2"});
-  headline.add_row({"Ku(.) Byzantium (8-d)/8",
-                    TextTable::num(threshold(byz, Scenario::regular_rate_one), 3),
-                    TextTable::num(
-                        threshold(byz, Scenario::regular_and_uncle_rate_one), 3)});
-  headline.add_row({"Ku = 4/8 flat (proposal)",
-                    TextTable::num(threshold(flat, Scenario::regular_rate_one), 3),
-                    TextTable::num(
-                        threshold(flat, Scenario::regular_and_uncle_rate_one), 3)});
-  headline.print(std::cout);
-  std::cout << "\nPaper: 0.054 -> 0.163 (scenario 1) and 0.270 -> 0.356 "
-               "(scenario 2).\n\n";
-
-  std::cout << "== Designer sweep: flat Ku value vs threshold ==\n\n";
-  TextTable sweep({"flat Ku", "alpha* scenario 1", "alpha* scenario 2"});
-  ethsm::support::CsvWriter csv({"ku", "threshold_s1", "threshold_s2"});
-  for (int eighths = 1; eighths <= 7; ++eighths) {
-    const double ku = eighths / 8.0;
-    const auto cfg = ethsm::rewards::RewardConfig::ethereum_flat(ku);
-    const double s1 = threshold(cfg, Scenario::regular_rate_one);
-    const double s2 = threshold(cfg, Scenario::regular_and_uncle_rate_one);
-    sweep.add_row({std::to_string(eighths) + "/8", TextTable::num(s1, 3),
-                   TextTable::num(s2, 3)});
-    csv.add_row({ku, s1, s2});
-  }
-  sweep.print(std::cout);
-  std::cout << "\nLower flat values resist selfish mining better but weaken "
-               "the anti-centralization incentive uncles were designed for "
-               "(Sec. VI).\n";
-  if (csv.write_file("sec6_reward_design.csv")) {
-    std::cout << "Series written to sec6_reward_design.csv\n";
-  }
-  return 0;
+int main(int argc, char** argv) {
+  return ethsm::api::legacy_bench_main("sec6_reward_design", argc, argv);
 }

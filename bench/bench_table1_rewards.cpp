@@ -1,37 +1,8 @@
-// Regenerates the paper's Table I: "Mining rewards in Ethereum and Bitcoin",
-// and prints the concrete schedules the library implements for each entry.
+// Regenerates Table I (mining-reward inventory + concrete schedules). Thin
+// wrapper over the unified experiment API: equivalent to `ethsm run table1`.
 
-#include <iostream>
+#include "api/cli.h"
 
-#include "rewards/reward_schedule.h"
-#include "support/table.h"
-
-int main() {
-  using ethsm::support::TextTable;
-
-  std::cout << "== Table I: mining rewards in Ethereum and Bitcoin ==\n\n";
-
-  TextTable table({"Reward type", "Ethereum", "Bitcoin", "Purpose"});
-  for (const auto& row : ethsm::rewards::table1_reward_inventory()) {
-    table.add_row({row.reward_type, row.in_ethereum ? "yes" : "no",
-                   row.in_bitcoin ? "yes" : "no", row.purpose});
-  }
-  table.print(std::cout);
-
-  std::cout << "\n== Concrete schedules (relative to Ks = 1) ==\n\n";
-  const ethsm::rewards::ByzantiumUncleSchedule byzantium;
-  TextTable schedule({"distance d", "Ku(d) Byzantium", "Ku(d) flat 4/8",
-                      "Kn(d) nephew"});
-  const ethsm::rewards::FlatUncleSchedule flat(0.5);
-  const ethsm::rewards::NephewRewardSchedule nephew;
-  for (int d = 1; d <= 7; ++d) {
-    schedule.add_row({std::to_string(d), TextTable::num(byzantium.reward(d), 4),
-                      TextTable::num(flat.reward(d), 4),
-                      TextTable::num(nephew.reward(d), 4)});
-  }
-  schedule.print(std::cout);
-
-  std::cout << "\nKu(d) = (8-d)/8 for d in 1..6 (paper Eq. (7)); "
-               "Kn = 1/32 within the same horizon.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return ethsm::api::legacy_bench_main("table1", argc, argv);
 }

@@ -1,82 +1,9 @@
-// Regenerates Table II: the distribution of honest miners' uncle blocks over
-// referencing distances 1..6 (conditional on being referenced), at gamma=0.5
-// for alpha = 0.3 and alpha = 0.45 -- from the Markov analysis and
-// cross-checked by simulation.
+// Regenerates Table II (uncle referencing-distance distribution, analysis +
+// simulation). Thin wrapper over the unified experiment API: equivalent to
+// `ethsm run table2 [--quick] [--checkpoint-dir DIR]`.
 
-#include <iostream>
-
-#include "analysis/uncle_distance.h"
-#include "sim/simulator.h"
-#include "support/checkpoint.h"
-#include "support/csv.h"
-#include "support/table.h"
-#include "support/thread_pool.h"
+#include "api/cli.h"
 
 int main(int argc, char** argv) {
-  using ethsm::support::TextTable;
-  const auto cli = ethsm::support::parse_sweep_cli(argc, argv);
-  const bool quick = cli.quick;
-
-  std::cout << "== Table II: honest uncles' referencing distances "
-               "(gamma = 0.5) ==\n"
-            << "   sweep threads: "
-            << ethsm::support::ThreadPool::global().concurrency()
-            << " (override with ETHSM_THREADS)\n\n";
-
-  TextTable table({"Referencing distance", "alpha=0.3 (analysis)",
-                   "alpha=0.3 (sim)", "alpha=0.45 (analysis)",
-                   "alpha=0.45 (sim)"});
-  ethsm::support::CsvWriter csv(
-      {"distance", "a30_analysis", "a30_sim", "a45_analysis", "a45_sim"});
-
-  const auto d30 =
-      ethsm::analysis::honest_uncle_distance_distribution({0.3, 0.5}, 120);
-  const auto d45 =
-      ethsm::analysis::honest_uncle_distance_distribution({0.45, 0.5}, 120);
-
-  ethsm::support::SweepOutcome outcome;
-  auto simulate = [&](double alpha) {
-    ethsm::sim::SimConfig sc;
-    sc.alpha = alpha;
-    sc.gamma = 0.5;
-    sc.num_blocks = quick ? 50'000 : 100'000;
-    sc.seed = 0x7ab1e2;
-    return ethsm::sim::run_many(sc, quick ? 3 : 10, cli.checkpoint, &outcome);
-  };
-  const auto s30 = simulate(0.3);
-  const auto s45 = simulate(0.45);
-  if (!ethsm::support::report_sweep_progress(std::cout, cli.checkpoint,
-                                             outcome)) {
-    return 0;
-  }
-
-  for (int d = 1; d <= 6; ++d) {
-    const double sim30 = s30.uncle_distance_honest.conditional_fraction(
-        static_cast<std::size_t>(d), 1, 6);
-    const double sim45 = s45.uncle_distance_honest.conditional_fraction(
-        static_cast<std::size_t>(d), 1, 6);
-    table.add_row({std::to_string(d), TextTable::num(d30.fraction[d], 3),
-                   TextTable::num(sim30, 3), TextTable::num(d45.fraction[d], 3),
-                   TextTable::num(sim45, 3)});
-    csv.add_row({static_cast<double>(d), d30.fraction[d], sim30,
-                 d45.fraction[d], sim45});
-  }
-  table.add_row({"Expectation", TextTable::num(d30.expectation, 2),
-                 TextTable::num(s30.uncle_distance_honest.conditional_mean(1, 6), 2),
-                 TextTable::num(d45.expectation, 2),
-                 TextTable::num(s45.uncle_distance_honest.conditional_mean(1, 6), 2)});
-  table.print(std::cout);
-
-  std::cout << "\nPaper Table II: alpha=0.3 -> .527 .295 .111 .043 .017 .007"
-               " (E = 1.75); alpha=0.45 -> .284 .249 .171 .125 .096 .075"
-               " (E = 2.72).\n";
-  std::cout << "Pool uncles are always referenced at distance 1 (Remark 5): "
-            << "sim pool d=1 fraction = "
-            << TextTable::num(
-                   s45.uncle_distance_pool.conditional_fraction(1, 1, 6), 3)
-            << "\n";
-  if (csv.write_file("table2_uncle_distance.csv")) {
-    std::cout << "Series written to table2_uncle_distance.csv\n";
-  }
-  return 0;
+  return ethsm::api::legacy_bench_main("table2", argc, argv);
 }

@@ -33,7 +33,58 @@ void mix_grid(support::Fingerprint& fp, const std::vector<double>& grid) {
   for (double x : grid) fp.mix(x);
 }
 
+std::uint64_t revenue_markov_fingerprint(const RevenueCurveOptions& options,
+                                         const std::vector<double>& alphas) {
+  support::Fingerprint fp;
+  fp.mix("revenue_curve/markov/v1");
+  fp.mix(options.gamma);
+  fp.mix(rewards::sweep_fingerprint(options.rewards));
+  fp.mix(static_cast<int>(options.scenario));
+  fp.mix(options.max_lead);
+  mix_grid(fp, alphas);
+  return fp.digest();
+}
+
+std::uint64_t revenue_sim_fingerprint(const RevenueCurveOptions& options,
+                                      const std::vector<double>& alphas) {
+  support::Fingerprint fp;
+  fp.mix("revenue_curve/sim/v1");
+  fp.mix(options.gamma);
+  fp.mix(rewards::sweep_fingerprint(options.rewards));
+  fp.mix(options.sim_runs);
+  fp.mix(options.sim_blocks);
+  fp.mix(options.sim_seed);
+  mix_grid(fp, alphas);
+  return fp.digest();
+}
+
 }  // namespace
+
+std::vector<std::uint64_t> revenue_curve_fingerprints(
+    const RevenueCurveOptions& options) {
+  const std::vector<double> alphas =
+      options.alphas.empty() ? fig8_alpha_grid() : options.alphas;
+  std::vector<std::uint64_t> fps{revenue_markov_fingerprint(options, alphas)};
+  if (options.sim_runs > 0) {
+    fps.push_back(revenue_sim_fingerprint(options, alphas));
+  }
+  return fps;
+}
+
+std::uint64_t threshold_curve_fingerprint(
+    const ThresholdCurveOptions& options) {
+  const std::vector<double> gammas =
+      options.gammas.empty() ? fig10_gamma_grid() : options.gammas;
+  support::Fingerprint fp;
+  fp.mix("threshold_curve/v1");
+  fp.mix(rewards::sweep_fingerprint(options.rewards));
+  fp.mix(options.threshold.alpha_min);
+  fp.mix(options.threshold.alpha_max);
+  fp.mix(options.threshold.tolerance);
+  fp.mix(options.threshold.max_lead);
+  mix_grid(fp, gammas);
+  return fp.digest();
+}
 
 std::vector<RevenuePoint> revenue_curve(const RevenueCurveOptions& options,
                                         support::SweepOutcome* outcome) {
@@ -41,16 +92,9 @@ std::vector<RevenuePoint> revenue_curve(const RevenueCurveOptions& options,
       options.alphas.empty() ? fig8_alpha_grid() : options.alphas;
 
   // Markov analysis: one independent job per alpha.
-  support::Fingerprint markov_fp;
-  markov_fp.mix("revenue_curve/markov/v1");
-  markov_fp.mix(options.gamma);
-  markov_fp.mix(rewards::sweep_fingerprint(options.rewards));
-  markov_fp.mix(static_cast<int>(options.scenario));
-  markov_fp.mix(options.max_lead);
-  mix_grid(markov_fp, alphas);
-
   const auto markov = support::run_checkpointed<RevenuePoint>(
-      options.checkpoint, markov_fp.digest(), alphas.size(),
+      options.checkpoint, revenue_markov_fingerprint(options, alphas),
+      alphas.size(),
       [&](std::size_t i) {
         const double alpha = alphas[i];
         RevenuePoint point;
@@ -100,17 +144,9 @@ std::vector<RevenuePoint> revenue_curve(const RevenueCurveOptions& options,
       for (int r = 0; r < options.sim_runs; ++r) jobs.push_back({i, r});
     }
 
-    support::Fingerprint sim_fp;
-    sim_fp.mix("revenue_curve/sim/v1");
-    sim_fp.mix(options.gamma);
-    sim_fp.mix(rewards::sweep_fingerprint(options.rewards));
-    sim_fp.mix(options.sim_runs);
-    sim_fp.mix(options.sim_blocks);
-    sim_fp.mix(options.sim_seed);
-    mix_grid(sim_fp, alphas);
-
     const auto sims = support::run_checkpointed<sim::SimResult>(
-        options.checkpoint, sim_fp.digest(), jobs.size(), [&](std::size_t j) {
+        options.checkpoint, revenue_sim_fingerprint(options, alphas),
+        jobs.size(), [&](std::size_t j) {
           const SimJob& job = jobs[j];
           sim::SimConfig sim_config;
           sim_config.alpha = alphas[job.point_index];
@@ -162,19 +198,11 @@ std::vector<ThresholdPoint> threshold_curve(const ThresholdCurveOptions& options
   const std::vector<double> gammas =
       options.gammas.empty() ? fig10_gamma_grid() : options.gammas;
 
-  support::Fingerprint fp;
-  fp.mix("threshold_curve/v1");
-  fp.mix(rewards::sweep_fingerprint(options.rewards));
-  fp.mix(options.threshold.alpha_min);
-  fp.mix(options.threshold.alpha_max);
-  fp.mix(options.threshold.tolerance);
-  fp.mix(options.threshold.max_lead);
-  mix_grid(fp, gammas);
-
   // One job per gamma; each runs two bisections (both difficulty scenarios)
   // that share nothing across gammas.
   const auto sweep = support::run_checkpointed<ThresholdPoint>(
-      options.checkpoint, fp.digest(), gammas.size(), [&](std::size_t i) {
+      options.checkpoint, threshold_curve_fingerprint(options), gammas.size(),
+      [&](std::size_t i) {
         const double gamma = gammas[i];
         ThresholdPoint point;
         point.gamma = gamma;

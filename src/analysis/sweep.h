@@ -82,6 +82,17 @@ struct ThresholdCurveOptions {
 [[nodiscard]] std::vector<double> fig8_alpha_grid();   ///< 0..0.45 step 0.025
 [[nodiscard]] std::vector<double> fig10_gamma_grid();  ///< 0..1 step 0.05
 
+/// Checkpoint-store fingerprints a revenue_curve run would use: the Markov
+/// sweep's, plus the simulation sweep's when sim_runs > 0. Exposed so the
+/// checkpoint GC (`ethsm checkpoint-stats --prune`) can map on-disk sweeps
+/// back to the experiments that own them without running anything.
+[[nodiscard]] std::vector<std::uint64_t> revenue_curve_fingerprints(
+    const RevenueCurveOptions& options);
+
+/// Checkpoint-store fingerprint of a threshold_curve run.
+[[nodiscard]] std::uint64_t threshold_curve_fingerprint(
+    const ThresholdCurveOptions& options);
+
 }  // namespace ethsm::analysis
 
 namespace ethsm::support {

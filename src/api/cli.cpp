@@ -1,0 +1,374 @@
+#include "api/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/presets.h"
+#include "api/render.h"
+#include "api/runner.h"
+#include "api/spec.h"
+#include "support/checkpoint.h"
+#include "support/table.h"
+#include "support/thread_pool.h"
+
+namespace ethsm::api {
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage:\n"
+    "  ethsm list\n"
+    "  ethsm print <preset> [--quick] [--set key=value ...]\n"
+    "  ethsm run <preset> | --spec FILE\n"
+    "            [--quick] [--set key=value ...]\n"
+    "            [--format table|csv|json] [--out FILE]\n"
+    "            [--checkpoint-dir DIR | --resume] [--shard k/N]\n"
+    "            [--max-new-jobs N]\n"
+    "  ethsm checkpoint-stats <dir> [--prune]\n";
+
+[[noreturn]] void usage_fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n%s", message.c_str(), kUsage);
+  std::exit(2);
+}
+
+std::string hex64(std::uint64_t v) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof buffer, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buffer;
+}
+
+int cmd_list() {
+  support::TextTable table({"preset", "kind", "description"});
+  for (const Preset& preset : presets()) {
+    table.add_row({preset.name,
+                   std::string(to_string(preset.spec(false).kind)),
+                   preset.description});
+  }
+  table.print(std::cout);
+  std::cout << "\nRun one with `ethsm run <preset>` (add --quick for smaller "
+               "grids), or start from `ethsm print <preset>` to write your "
+               "own spec file.\n";
+  return 0;
+}
+
+/// Shared spec resolution of `run` and `print`: preset or --spec file, then
+/// --set overrides through the same validated key=value path.
+struct SpecRequest {
+  std::string preset;              ///< empty when --spec is used
+  std::string spec_file;
+  bool quick = false;
+  std::vector<std::string> overrides;
+
+  [[nodiscard]] ExperimentSpec resolve() const {
+    std::string text;
+    if (!spec_file.empty()) {
+      std::ifstream in(spec_file);
+      if (!in) {
+        throw SpecError("cannot read spec file '" + spec_file + "'");
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      text = buffer.str();
+    } else {
+      text = print_spec(preset_spec(preset, quick));
+    }
+    SpecEntries entries = parse_spec_entries(text);
+    for (const std::string& assignment : overrides) {
+      apply_override(entries, assignment);
+    }
+    return spec_from_entries(entries);
+  }
+};
+
+struct RunArgs {
+  SpecRequest request;
+  OutputFormat format = OutputFormat::table;
+  std::string out_file;
+  support::SweepCheckpoint checkpoint;
+};
+
+RunArgs parse_run_args(int argc, char** argv, int first) {
+  RunArgs args;
+  if (const char* dir = std::getenv("ETHSM_CHECKPOINT_DIR")) {
+    args.checkpoint.directory = dir;
+  }
+  args.checkpoint.shard = support::shard_from_env();
+
+  for (int i = first; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) usage_fail(std::string(what) + " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--quick") {
+      args.request.quick = true;
+    } else if (arg == "--spec") {
+      args.request.spec_file = next("--spec");
+    } else if (arg == "--set") {
+      args.request.overrides.emplace_back(next("--set"));
+    } else if (arg == "--format") {
+      args.format = output_format_from_string(next("--format"));
+    } else if (arg == "--out") {
+      args.out_file = next("--out");
+    } else if (arg == "--checkpoint-dir") {
+      args.checkpoint.directory = next("--checkpoint-dir");
+    } else if (arg == "--resume") {
+      if (args.checkpoint.directory.empty()) {
+        args.checkpoint.directory = "ethsm-checkpoints";
+      }
+    } else if (arg == "--shard") {
+      const auto shard = support::parse_shard(next("--shard"));
+      if (!shard) usage_fail("malformed --shard (want k/N with 0 <= k < N)");
+      args.checkpoint.shard = *shard;
+    } else if (arg == "--max-new-jobs") {
+      const char* text = next("--max-new-jobs");
+      char* end = nullptr;
+      const unsigned long long value = std::strtoull(text, &end, 10);
+      if (*text == '\0' || *end != '\0' || *text == '-') {
+        usage_fail("malformed --max-new-jobs (want a non-negative integer)");
+      }
+      args.checkpoint.max_new_jobs = static_cast<std::size_t>(value);
+    } else if (!arg.empty() && arg.front() == '-') {
+      usage_fail("unknown argument " + std::string(arg));
+    } else if (args.request.preset.empty() &&
+               args.request.spec_file.empty()) {
+      args.request.preset = std::string(arg);
+    } else {
+      usage_fail("unexpected argument " + std::string(arg));
+    }
+  }
+  if (args.request.preset.empty() && args.request.spec_file.empty()) {
+    usage_fail("run/print need a preset name or --spec FILE");
+  }
+  if (!args.checkpoint.shard.is_whole_sweep() &&
+      args.checkpoint.directory.empty()) {
+    usage_fail("--shard requires --checkpoint-dir (shards merge through disk)");
+  }
+  return args;
+}
+
+bool write_or_print(const std::string& payload, const std::string& out_file) {
+  if (out_file.empty()) {
+    std::cout << payload;
+    return true;
+  }
+  std::ofstream out(out_file);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_file.c_str());
+    return false;
+  }
+  out << payload;
+  return static_cast<bool>(out);
+}
+
+int cmd_run(const RunArgs& args) {
+  const ExperimentSpec spec = args.request.resolve();
+  RunOptions options;
+  options.checkpoint = args.checkpoint;
+  const ExperimentResult result = run(spec, options);
+
+  switch (args.format) {
+    case OutputFormat::table: {
+      std::ostringstream os;
+      render_text(result, os);
+      if (!write_or_print(os.str(), args.out_file)) return 1;
+      break;
+    }
+    case OutputFormat::csv: {
+      if (!result.complete()) {
+        render_text(result, std::cout);  // progress + partial notice
+        return 0;
+      }
+      if (!write_or_print(render_csv(result), args.out_file)) return 1;
+      break;
+    }
+    case OutputFormat::json:
+      if (!write_or_print(render_json(result), args.out_file)) return 1;
+      break;
+  }
+  return 0;
+}
+
+int cmd_print(int argc, char** argv, int first) {
+  const RunArgs args = parse_run_args(argc, argv, first);
+  std::cout << print_spec(args.request.resolve());
+  return 0;
+}
+
+int cmd_checkpoint_stats(int argc, char** argv, int first) {
+  std::string directory;
+  bool prune = false;
+  for (int i = first; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--prune") {
+      prune = true;
+    } else if (!arg.empty() && arg.front() == '-') {
+      usage_fail("unknown argument " + std::string(arg));
+    } else if (directory.empty()) {
+      directory = std::string(arg);
+    } else {
+      usage_fail("unexpected argument " + std::string(arg));
+    }
+  }
+  if (directory.empty()) usage_fail("checkpoint-stats needs a directory");
+
+  const auto files = support::scan_checkpoint_directory(directory);
+  if (files.empty()) {
+    std::cout << "no checkpoint files under " << directory << "\n";
+    return 0;
+  }
+
+  // Who references which fingerprint (registered presets, quick + full).
+  std::map<std::uint64_t, std::set<std::string>> owners;
+  for (const auto& ref : referenced_fingerprints()) {
+    owners[ref.fingerprint].insert(ref.owner);
+  }
+
+  // Aggregate per fingerprint across shard files.
+  struct SweepStat {
+    std::size_t files = 0;
+    std::size_t records = 0;
+    std::uint64_t bytes = 0;
+  };
+  std::map<std::uint64_t, SweepStat> sweeps;
+  std::vector<const support::CheckpointFileInfo*> unreadable;
+  for (const auto& file : files) {
+    if (!file.readable) {
+      unreadable.push_back(&file);
+      continue;
+    }
+    SweepStat& stat = sweeps[file.fingerprint];
+    ++stat.files;
+    stat.records += file.records;
+    stat.bytes += file.bytes;
+  }
+
+  support::TextTable table(
+      {"fingerprint", "referenced by", "files", "records", "bytes"});
+  for (const auto& [fingerprint, stat] : sweeps) {
+    std::string owner = "(unreferenced)";
+    if (const auto it = owners.find(fingerprint); it != owners.end()) {
+      owner.clear();
+      for (const std::string& name : it->second) {
+        if (!owner.empty()) owner += ", ";
+        owner += name;
+      }
+    }
+    table.add_row({hex64(fingerprint), owner, std::to_string(stat.files),
+                   std::to_string(stat.records), std::to_string(stat.bytes)});
+  }
+  table.print(std::cout);
+  for (const auto* file : unreadable) {
+    std::cout << "unreadable (foreign/corrupt header): " << file->path << " ("
+              << file->bytes << " bytes)\n";
+  }
+
+  if (prune) {
+    std::uint64_t freed = 0;
+    std::size_t removed = 0;
+    for (const auto& file : files) {
+      if (!file.readable) continue;  // never guess about foreign files
+      if (owners.count(file.fingerprint) != 0) continue;
+      std::error_code ec;
+      if (std::filesystem::remove(file.path, ec) && !ec) {
+        ++removed;
+        freed += file.bytes;
+      } else {
+        std::fprintf(stderr, "warning: could not remove %s\n",
+                     file.path.c_str());
+      }
+    }
+    std::cout << "pruned " << removed << " file(s), freed " << freed
+              << " bytes (kept every fingerprint a registered preset "
+                 "references)\n";
+  } else {
+    std::size_t unreferenced = 0;
+    for (const auto& [fingerprint, stat] : sweeps) {
+      if (owners.count(fingerprint) == 0) ++unreferenced;
+    }
+    if (unreferenced > 0) {
+      std::cout << unreferenced
+                << " sweep(s) not referenced by any registered preset; "
+                   "re-run with --prune to remove them\n";
+    }
+  }
+  return 0;
+}
+
+int dispatch(int argc, char** argv) {
+  if (argc < 2) usage_fail("missing subcommand");
+  const std::string_view command = argv[1];
+  if (command == "list") return cmd_list();
+  if (command == "run") return cmd_run(parse_run_args(argc, argv, 2));
+  if (command == "print") return cmd_print(argc, argv, 2);
+  if (command == "checkpoint-stats") {
+    return cmd_checkpoint_stats(argc, argv, 2);
+  }
+  if (command == "--help" || command == "-h" || command == "help") {
+    std::cout << kUsage;
+    return 0;
+  }
+  usage_fail("unknown subcommand '" + std::string(command) + "'");
+}
+
+}  // namespace
+
+int cli_main(int argc, char** argv) {
+  try {
+    return dispatch(argc, argv);
+  } catch (const SpecError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
+
+int legacy_bench_main(const char* preset_name, int argc, char** argv) {
+  try {
+    const auto cli = support::parse_sweep_cli(argc, argv);
+    const Preset* preset = find_preset(preset_name);
+    if (preset == nullptr) {
+      std::fprintf(stderr, "error: unknown preset %s\n", preset_name);
+      return 1;
+    }
+    const ExperimentSpec spec = preset->spec(cli.quick);
+
+    std::cout << "== " << spec.title << " ==\n"
+              << "   sweep threads: "
+              << support::ThreadPool::global().concurrency()
+              << " (override with ETHSM_THREADS)\n";
+
+    RunOptions options;
+    options.checkpoint = cli.checkpoint;
+    ExperimentResult result = run(spec, options);
+    result.spec.title.clear();  // the header above already printed it
+    render_text(result, std::cout);
+    if (!result.complete()) return 0;
+
+    const std::string csv = render_csv(result);
+    if (!csv.empty() && !preset->csv_filename.empty()) {
+      std::ofstream out(preset->csv_filename);
+      if (out && (out << csv)) {
+        std::cout << "Series written to " << preset->csv_filename << "\n";
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
+
+}  // namespace ethsm::api

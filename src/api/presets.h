@@ -1,0 +1,47 @@
+// Named experiment presets: every paper figure/table plus the extension
+// studies, expressed as ExperimentSpecs. `ethsm run fig8` and the bench
+// regenerator binaries both resolve through this registry, and the
+// checkpoint GC keeps exactly the sweep fingerprints these presets reference.
+
+#ifndef ETHSM_API_PRESETS_H
+#define ETHSM_API_PRESETS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/spec.h"
+
+namespace ethsm::api {
+
+struct Preset {
+  std::string name;         ///< CLI handle ("fig8", "table2", ...)
+  std::string description;  ///< one line for `ethsm list`
+  /// Spec builder; quick = smaller grids / fewer runs (CI and smoke tests).
+  ExperimentSpec (*spec)(bool quick);
+  /// Side-file the legacy bench wrapper writes its CSV series to.
+  std::string csv_filename;
+};
+
+/// All registered presets, in display order.
+[[nodiscard]] const std::vector<Preset>& presets();
+
+/// nullptr when unknown.
+[[nodiscard]] const Preset* find_preset(std::string_view name);
+
+/// Spec of a named preset; SpecError when the name is unknown.
+[[nodiscard]] ExperimentSpec preset_spec(std::string_view name, bool quick);
+
+/// One referenced sweep fingerprint: which preset/variant owns it.
+struct ReferencedFingerprint {
+  std::uint64_t fingerprint = 0;
+  std::string owner;  ///< "fig8" or "fig8 --quick"
+};
+
+/// Union of checkpoint-store fingerprints over every preset, full and quick
+/// variants both -- the keep-set of `ethsm checkpoint-stats --prune`.
+[[nodiscard]] std::vector<ReferencedFingerprint> referenced_fingerprints();
+
+}  // namespace ethsm::api
+
+#endif  // ETHSM_API_PRESETS_H

@@ -1,0 +1,20 @@
+#include "api/result.h"
+
+#include "support/table.h"
+
+namespace ethsm::api {
+
+std::string Column::cell(std::size_t row) const {
+  if (!numeric) return row < text.size() ? text[row] : std::string{};
+  if (row >= numbers.size()) return missing;
+  return support::TextTable::opt(numbers[row], precision, missing.c_str());
+}
+
+std::uint64_t spec_fingerprint(const ExperimentSpec& spec) {
+  support::Fingerprint fp;
+  fp.mix("experiment_spec/v1");
+  fp.mix(print_spec(spec));
+  return fp.digest();
+}
+
+}  // namespace ethsm::api

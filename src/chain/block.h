@@ -11,7 +11,6 @@
 
 #include <cstdint>
 #include <limits>
-#include <vector>
 
 namespace ethsm::chain {
 
@@ -46,8 +45,11 @@ struct Block {
   std::uint32_t miner_id = 0;  ///< population-simulator identity; 0 otherwise
   double mined_at = 0.0;
   double published_at = kNeverPublished;
-  /// Uncle blocks referenced *by* this block, fixed at creation time.
-  std::vector<BlockId> uncle_refs;
+  /// Uncle blocks referenced *by* this block, fixed at creation time, stored
+  /// as a slice of BlockTree's shared uncle-ref arena (offset + count) instead
+  /// of a per-block heap vector; read them via BlockTree::uncle_refs(id).
+  std::uint32_t uncle_begin = 0;
+  std::uint32_t uncle_count = 0;
 
   [[nodiscard]] bool is_published() const noexcept {
     return published_at != kNeverPublished;

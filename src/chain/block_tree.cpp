@@ -13,6 +13,7 @@ void BlockTree::reset(std::size_t reserve_hint) {
   first_child_.clear();
   last_child_.clear();
   next_sibling_.clear();
+  uncle_arena_.clear();
   if (reserve_hint > 0) {
     blocks_.reserve(reserve_hint);
     first_child_.reserve(reserve_hint);
@@ -37,7 +38,7 @@ void BlockTree::reset(std::size_t reserve_hint) {
 
 BlockId BlockTree::append(BlockId parent, MinerClass miner,
                           std::uint32_t miner_id, double mined_at,
-                          std::vector<BlockId> uncle_refs) {
+                          std::span<const BlockId> uncle_refs) {
   check_id(parent);
   for (BlockId u : uncle_refs) check_id(u);
 
@@ -47,7 +48,24 @@ BlockId BlockTree::append(BlockId parent, MinerClass miner,
   b.miner = miner;
   b.miner_id = miner_id;
   b.mined_at = mined_at;
-  b.uncle_refs = std::move(uncle_refs);
+  b.uncle_begin = static_cast<std::uint32_t>(uncle_arena_.size());
+  b.uncle_count = static_cast<std::uint32_t>(uncle_refs.size());
+  if (!uncle_refs.empty() && uncle_refs.data() >= uncle_arena_.data() &&
+      uncle_refs.data() < uncle_arena_.data() + uncle_arena_.size()) {
+    // The span aliases this tree's own arena (e.g. uncle_refs(other) fed
+    // straight back into append): growing the vector would invalidate it
+    // mid-copy, so copy by index after reserving.
+    const std::size_t offset =
+        static_cast<std::size_t>(uncle_refs.data() - uncle_arena_.data());
+    const std::size_t count = uncle_refs.size();
+    uncle_arena_.reserve(uncle_arena_.size() + count);
+    for (std::size_t i = 0; i < count; ++i) {
+      uncle_arena_.push_back(uncle_arena_[offset + i]);
+    }
+  } else {
+    uncle_arena_.insert(uncle_arena_.end(), uncle_refs.begin(),
+                        uncle_refs.end());
+  }
 
   const auto id = static_cast<BlockId>(blocks_.size());
   blocks_.push_back(std::move(b));
@@ -75,6 +93,12 @@ void BlockTree::publish(BlockId id, double now) {
 const Block& BlockTree::block(BlockId id) const {
   check_id(id);
   return blocks_[id];
+}
+
+std::span<const BlockId> BlockTree::uncle_refs(BlockId id) const {
+  check_id(id);
+  const Block& b = blocks_[id];
+  return {uncle_arena_.data() + b.uncle_begin, b.uncle_count};
 }
 
 std::uint32_t BlockTree::height(BlockId id) const {

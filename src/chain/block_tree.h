@@ -12,7 +12,9 @@
 #define ETHSM_CHAIN_BLOCK_TREE_H
 
 #include <cstddef>
+#include <initializer_list>
 #include <iterator>
+#include <span>
 #include <vector>
 
 #include "chain/block.h"
@@ -102,15 +104,25 @@ class BlockTree {
 
   /// Appends a block. `uncle_refs` must already satisfy eligibility (use
   /// collect_uncle_references); this is checked lazily by ChainValidator, not
-  /// here, to keep the mining hot loop cheap.
+  /// here, to keep the mining hot loop cheap. The refs are copied into the
+  /// tree's shared uncle arena -- no per-block heap allocation.
   BlockId append(BlockId parent, MinerClass miner, std::uint32_t miner_id,
-                 double mined_at, std::vector<BlockId> uncle_refs = {});
+                 double mined_at, std::span<const BlockId> uncle_refs = {});
+  BlockId append(BlockId parent, MinerClass miner, std::uint32_t miner_id,
+                 double mined_at, std::initializer_list<BlockId> uncle_refs) {
+    return append(parent, miner, miner_id, mined_at,
+                  std::span<const BlockId>(uncle_refs.begin(),
+                                           uncle_refs.size()));
+  }
 
   /// Marks a block visible to the network. Publishing is monotone: a block can
   /// be published once; re-publication is a logic error.
   void publish(BlockId id, double now);
 
   [[nodiscard]] const Block& block(BlockId id) const;
+  /// Uncle blocks referenced by `id`, in the order passed to append(). The
+  /// view stays valid until the next append() or reset().
+  [[nodiscard]] std::span<const BlockId> uncle_refs(BlockId id) const;
   [[nodiscard]] std::uint32_t height(BlockId id) const;
   [[nodiscard]] BlockId parent(BlockId id) const;
   [[nodiscard]] bool is_published(BlockId id) const;
@@ -140,6 +152,10 @@ class BlockTree {
   std::vector<BlockId> first_child_;
   std::vector<BlockId> last_child_;
   std::vector<BlockId> next_sibling_;
+  // Shared uncle-reference arena: block b's refs are
+  // uncle_arena_[b.uncle_begin .. b.uncle_begin + b.uncle_count). Blocks are
+  // append-only and refs are fixed at creation, so slices never move.
+  std::vector<BlockId> uncle_arena_;
   std::uint64_t mined_count_[2] = {0, 0};
 };
 

@@ -50,12 +50,13 @@ ValidationReport validate_chain(const BlockTree& tree,
     }
 
     // V3/V5/V6: uncle references.
+    const auto refs = tree.uncle_refs(id);
     if (config.max_uncles_per_block > 0 &&
-        static_cast<int>(b.uncle_refs.size()) > config.max_uncles_per_block) {
+        static_cast<int>(refs.size()) > config.max_uncles_per_block) {
       report(r, id, "too many uncle references");
     }
     std::unordered_set<BlockId> seen;
-    for (BlockId u : b.uncle_refs) {
+    for (BlockId u : refs) {
       if (u >= tree.size()) {
         report(r, id, "dangling uncle reference");
         continue;
@@ -90,7 +91,7 @@ ValidationReport validate_chain(const BlockTree& tree,
     if (!tree.children(id).empty()) continue;  // not a leaf
     std::unordered_set<BlockId> referenced;
     for (BlockId cur = id;; cur = tree.parent(cur)) {
-      for (BlockId u : tree.block(cur).uncle_refs) {
+      for (BlockId u : tree.uncle_refs(cur)) {
         if (!referenced.insert(u).second) {
           report(r, cur, "uncle referenced twice along one chain");
         }

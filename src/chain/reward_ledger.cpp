@@ -12,7 +12,7 @@ std::vector<BlockFate> classify_blocks(const BlockTree& tree,
   const auto main_chain = tree.chain_from_genesis(main_tip);
   for (BlockId b : main_chain) fate[b] = BlockFate::regular;
   for (BlockId b : main_chain) {
-    for (BlockId u : tree.block(b).uncle_refs) {
+    for (BlockId u : tree.uncle_refs(b)) {
       ETHSM_ENSURES(fate[u] != BlockFate::regular,
                     "a main-chain block cannot be referenced as an uncle");
       fate[u] = BlockFate::referenced_uncle;
@@ -43,7 +43,7 @@ LedgerResult settle_rewards(const BlockTree& tree, BlockId main_tip,
     const Block& nephew = tree.block(main_chain[idx]);
     pay(nephew.miner, nephew.miner_id, 1.0, &ClassRewards::static_reward);
 
-    for (BlockId uid : nephew.uncle_refs) {
+    for (BlockId uid : tree.uncle_refs(main_chain[idx])) {
       const Block& uncle = tree.block(uid);
       ETHSM_ENSURES(uncle.height < nephew.height,
                     "uncle must be below its nephew");

@@ -26,20 +26,22 @@ void for_each_window_ancestor(const BlockTree& tree, BlockId parent,
 
 }  // namespace
 
-std::vector<UncleCandidate> find_uncle_candidates(const BlockTree& tree,
-                                                  BlockId parent, int horizon) {
+void find_uncle_candidates(const BlockTree& tree, BlockId parent, int horizon,
+                           UncleScratch& scratch) {
   ETHSM_EXPECTS(horizon >= 0, "horizon must be non-negative");
-  std::vector<UncleCandidate> out;
-  if (horizon == 0) return out;
+  std::vector<UncleCandidate>& out = scratch.candidates;
+  out.clear();
+  if (horizon == 0) return;
 
   const std::uint32_t new_height = tree.height(parent) + 1;
 
   // References already consumed on this chain. Any uncle eligible for the new
   // block has height >= new_height - horizon, so a referencing ancestor would
   // itself lie within the window (its height exceeds the uncle's).
-  std::vector<BlockId> already_referenced;
+  std::vector<BlockId>& already_referenced = scratch.referenced;
+  already_referenced.clear();
   for_each_window_ancestor(tree, parent, horizon, [&](BlockId anc) {
-    const auto& refs = tree.block(anc).uncle_refs;
+    const auto refs = tree.uncle_refs(anc);
     already_referenced.insert(already_referenced.end(), refs.begin(),
                               refs.end());
   });
@@ -69,21 +71,34 @@ std::vector<UncleCandidate> find_uncle_candidates(const BlockTree& tree,
     }
     return a.id < b.id;
   });
-  return out;
+}
+
+std::vector<UncleCandidate> find_uncle_candidates(const BlockTree& tree,
+                                                  BlockId parent, int horizon) {
+  UncleScratch scratch;
+  find_uncle_candidates(tree, parent, horizon, scratch);
+  return std::move(scratch.candidates);
+}
+
+void collect_uncle_references(const BlockTree& tree, BlockId parent,
+                              int horizon, int max_refs,
+                              UncleScratch& scratch) {
+  ETHSM_EXPECTS(max_refs >= 0, "max_refs must be >= 0 (0 = unlimited)");
+  find_uncle_candidates(tree, parent, horizon, scratch);
+  std::vector<BlockId>& refs = scratch.refs;
+  refs.clear();
+  for (const auto& c : scratch.candidates) {
+    if (max_refs > 0 && static_cast<int>(refs.size()) >= max_refs) break;
+    refs.push_back(c.id);
+  }
 }
 
 std::vector<BlockId> collect_uncle_references(const BlockTree& tree,
                                               BlockId parent, int horizon,
                                               int max_refs) {
-  ETHSM_EXPECTS(max_refs >= 0, "max_refs must be >= 0 (0 = unlimited)");
-  auto candidates = find_uncle_candidates(tree, parent, horizon);
-  std::vector<BlockId> refs;
-  refs.reserve(candidates.size());
-  for (const auto& c : candidates) {
-    if (max_refs > 0 && static_cast<int>(refs.size()) >= max_refs) break;
-    refs.push_back(c.id);
-  }
-  return refs;
+  UncleScratch scratch;
+  collect_uncle_references(tree, parent, horizon, max_refs, scratch);
+  return std::move(scratch.refs);
 }
 
 bool is_eligible_uncle(const BlockTree& tree, BlockId uncle, BlockId parent,

@@ -36,9 +36,30 @@ struct UncleCandidate {
     const BlockTree& tree, BlockId parent, int horizon);
 
 /// As find_uncle_candidates, but returns only the ids, truncated to
-/// `max_refs` (0 = unlimited). This is what the mining policies call.
+/// `max_refs` (0 = unlimited).
 [[nodiscard]] std::vector<BlockId> collect_uncle_references(
     const BlockTree& tree, BlockId parent, int horizon, int max_refs = 0);
+
+/// Reusable buffers for the per-block collection hot path. The mining
+/// policies hold one scratch per policy instance so a 100k-block run performs
+/// no per-block heap allocation once the buffers reach steady-state capacity
+/// (confirmed by the allocs_per_block counter in bench_perf_micro).
+struct UncleScratch {
+  std::vector<UncleCandidate> candidates;
+  std::vector<BlockId> referenced;
+  std::vector<BlockId> refs;  ///< collect_uncle_references output
+};
+
+/// In-place find_uncle_candidates: fills scratch.candidates (clearing it
+/// first), using scratch.referenced as the already-referenced working set.
+void find_uncle_candidates(const BlockTree& tree, BlockId parent, int horizon,
+                           UncleScratch& scratch);
+
+/// In-place collect_uncle_references: result lands in scratch.refs. This is
+/// what the mining policies call.
+void collect_uncle_references(const BlockTree& tree, BlockId parent,
+                              int horizon, int max_refs,
+                              UncleScratch& scratch);
 
 /// True iff `uncle` would be an eligible reference for a new block on
 /// `parent` at the given horizon (the conditions in the header comment).

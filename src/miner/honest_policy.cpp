@@ -26,12 +26,14 @@ chain::BlockId HonestPolicy::parent_for_preference(const PublicView& view,
 
 chain::BlockId HonestPolicy::mine_block(chain::BlockTree& tree,
                                         chain::BlockId parent, double now,
-                                        std::uint32_t miner_id) const {
-  auto refs = horizon_ > 0 ? chain::collect_uncle_references(
-                                 tree, parent, horizon_, max_refs_)
-                           : std::vector<chain::BlockId>{};
+                                        std::uint32_t miner_id) {
+  uncle_scratch_.refs.clear();
+  if (horizon_ > 0) {
+    chain::collect_uncle_references(tree, parent, horizon_, max_refs_,
+                                    uncle_scratch_);
+  }
   const chain::BlockId id = tree.append(parent, chain::MinerClass::honest,
-                                        miner_id, now, std::move(refs));
+                                        miner_id, now, uncle_scratch_.refs);
   tree.publish(id, now);  // honest miners broadcast immediately
   return id;
 }

@@ -8,6 +8,7 @@
 #define ETHSM_MINER_HONEST_POLICY_H
 
 #include "chain/block_tree.h"
+#include "chain/uncle_index.h"
 #include "miner/policy_types.h"
 #include "rewards/reward_schedule.h"
 #include "support/rng.h"
@@ -32,7 +33,7 @@ class HonestPolicy {
   /// Creates and immediately publishes an honest block on `parent`,
   /// referencing all eligible uncles (Algorithm 1 line 8).
   chain::BlockId mine_block(chain::BlockTree& tree, chain::BlockId parent,
-                            double now, std::uint32_t miner_id) const;
+                            double now, std::uint32_t miner_id);
 
   [[nodiscard]] double gamma() const noexcept { return gamma_; }
 
@@ -40,6 +41,7 @@ class HonestPolicy {
   double gamma_;
   int horizon_;
   int max_refs_;
+  chain::UncleScratch uncle_scratch_;  ///< per-block collection buffers
 };
 
 }  // namespace ethsm::miner

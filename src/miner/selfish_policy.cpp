@@ -30,11 +30,12 @@ int SelfishPolicy::public_length() const noexcept {
   return honest_len_ > published_ ? honest_len_ : published_;
 }
 
-std::vector<BlockId> SelfishPolicy::make_references(BlockId parent) const {
+std::span<const BlockId> SelfishPolicy::make_references(BlockId parent) {
   if (!config_.reference_uncles) return {};
-  return chain::collect_uncle_references(tree_, parent,
-                                         config_.reference_horizon,
-                                         config_.max_uncles_per_block);
+  chain::collect_uncle_references(tree_, parent, config_.reference_horizon,
+                                  config_.max_uncles_per_block,
+                                  uncle_scratch_);
+  return uncle_scratch_.refs;
 }
 
 void SelfishPolicy::publish_up_to(int count, double now) {

@@ -22,9 +22,11 @@
 #define ETHSM_MINER_SELFISH_POLICY_H
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "chain/block_tree.h"
+#include "chain/uncle_index.h"
 #include "miner/policy_types.h"
 #include "rewards/reward_schedule.h"
 
@@ -91,11 +93,14 @@ class SelfishPolicy {
  private:
   void publish_up_to(int count, double now);
   void reset_to(chain::BlockId new_base);
-  [[nodiscard]] std::vector<chain::BlockId> make_references(
-      chain::BlockId parent) const;
+  /// Eligible uncle refs for a new pool block; the view aliases the policy's
+  /// reusable scratch and is only valid until the next call.
+  [[nodiscard]] std::span<const chain::BlockId> make_references(
+      chain::BlockId parent);
 
   chain::BlockTree& tree_;
   SelfishPolicyConfig config_;
+  chain::UncleScratch uncle_scratch_;
   chain::BlockId base_;
   std::vector<chain::BlockId> private_;
   int published_ = 0;

@@ -24,11 +24,12 @@ BlockId StubbornPolicy::published_pool_tip() const noexcept {
                          : private_[static_cast<std::size_t>(published_ - 1)];
 }
 
-std::vector<BlockId> StubbornPolicy::make_references(BlockId parent) const {
+std::span<const BlockId> StubbornPolicy::make_references(BlockId parent) {
   if (!config_.reference_uncles) return {};
-  return chain::collect_uncle_references(tree_, parent,
-                                         config_.reference_horizon,
-                                         config_.max_uncles_per_block);
+  chain::collect_uncle_references(tree_, parent, config_.reference_horizon,
+                                  config_.max_uncles_per_block,
+                                  uncle_scratch_);
+  return uncle_scratch_.refs;
 }
 
 void StubbornPolicy::publish_up_to(int count, double now) {

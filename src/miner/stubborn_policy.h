@@ -23,9 +23,11 @@
 #define ETHSM_MINER_STUBBORN_POLICY_H
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "chain/block_tree.h"
+#include "chain/uncle_index.h"
 #include "miner/policy_types.h"
 #include "rewards/reward_schedule.h"
 
@@ -97,14 +99,17 @@ class StubbornPolicy {
  private:
   void publish_up_to(int count, double now);
   void reset_to(chain::BlockId new_base);
-  [[nodiscard]] std::vector<chain::BlockId> make_references(
-      chain::BlockId parent) const;
+  /// Eligible uncle refs for a new pool block; aliases the reusable scratch,
+  /// valid only until the next call.
+  [[nodiscard]] std::span<const chain::BlockId> make_references(
+      chain::BlockId parent);
   [[nodiscard]] bool in_tie() const noexcept {
     return published_ >= 1 && published_ == honest_len_;
   }
 
   chain::BlockTree& tree_;
   StubbornConfig config_;
+  chain::UncleScratch uncle_scratch_;
   chain::BlockId base_;
   std::vector<chain::BlockId> private_;
   int published_ = 0;

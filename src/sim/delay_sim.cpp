@@ -85,6 +85,7 @@ DelaySimResult run_delay_simulation(const DelaySimConfig& config) {
   };
 
   const int horizon = config.rewards.reference_horizon();
+  chain::UncleScratch uncle_scratch;  // reused across the whole run
   DelaySimResult result;
   result.per_miner_blocks.assign(n, 0);
 
@@ -107,12 +108,14 @@ DelaySimResult run_delay_simulation(const DelaySimConfig& config) {
       parent = own_tip[miner];
     }
 
-    auto refs = horizon > 0 ? chain::collect_uncle_references(
-                                  tree, parent, horizon,
-                                  config.rewards.max_uncles_per_block)
-                            : std::vector<chain::BlockId>{};
+    uncle_scratch.refs.clear();
+    if (horizon > 0) {
+      chain::collect_uncle_references(tree, parent, horizon,
+                                      config.rewards.max_uncles_per_block,
+                                      uncle_scratch);
+    }
     const auto id = tree.append(parent, chain::MinerClass::honest, miner, now,
-                                std::move(refs));
+                                uncle_scratch.refs);
     own_tip[miner] = id;
     ++result.per_miner_blocks[miner];
 
@@ -155,13 +158,8 @@ DelayMultiRunSummary run_delay_many(const DelaySimConfig& config, int runs) {
   return run_delay_many(config, runs, support::SweepCheckpoint{});
 }
 
-DelayMultiRunSummary run_delay_many(const DelaySimConfig& config, int runs,
-                                    const support::SweepCheckpoint& checkpoint,
-                                    support::SweepOutcome* outcome) {
-  ETHSM_EXPECTS(runs > 0, "need at least one run");
-  config.validate();
-  const auto num_miners = config.effective_shares().size();
-
+std::uint64_t run_delay_many_fingerprint(const DelaySimConfig& config,
+                                         int runs) {
   support::Fingerprint fp;
   fp.mix("run_delay_many/v1");
   for (double share : config.effective_shares()) fp.mix(share);
@@ -170,10 +168,19 @@ DelayMultiRunSummary run_delay_many(const DelaySimConfig& config, int runs,
   fp.mix(config.seed);
   fp.mix(rewards::sweep_fingerprint(config.rewards));
   fp.mix(runs);
+  return fp.digest();
+}
+
+DelayMultiRunSummary run_delay_many(const DelaySimConfig& config, int runs,
+                                    const support::SweepCheckpoint& checkpoint,
+                                    support::SweepOutcome* outcome) {
+  ETHSM_EXPECTS(runs > 0, "need at least one run");
+  config.validate();
+  const auto num_miners = config.effective_shares().size();
 
   const auto sweep = support::run_checkpointed<DelaySimResult>(
-      checkpoint, fp.digest(), static_cast<std::size_t>(runs),
-      [&config](std::size_t r) {
+      checkpoint, run_delay_many_fingerprint(config, runs),
+      static_cast<std::size_t>(runs), [&config](std::size_t r) {
         DelaySimConfig run_config = config;
         run_config.seed =
             support::derive_seed(config.seed, static_cast<std::uint64_t>(r));

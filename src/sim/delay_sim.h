@@ -87,6 +87,10 @@ struct DelayMultiRunSummary {
     const support::SweepCheckpoint& checkpoint,
     support::SweepOutcome* outcome = nullptr);
 
+/// Checkpoint-store fingerprint of a run_delay_many sweep (checkpoint GC).
+[[nodiscard]] std::uint64_t run_delay_many_fingerprint(
+    const DelaySimConfig& config, int runs);
+
 }  // namespace ethsm::sim
 
 namespace ethsm::support {

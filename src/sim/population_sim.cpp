@@ -127,13 +127,8 @@ PopulationMultiRunSummary run_population_many(const PopulationConfig& config,
   return run_population_many(config, runs, support::SweepCheckpoint{});
 }
 
-PopulationMultiRunSummary run_population_many(
-    const PopulationConfig& config, int runs,
-    const support::SweepCheckpoint& checkpoint,
-    support::SweepOutcome* outcome) {
-  ETHSM_EXPECTS(runs > 0, "need at least one run");
-  config.validate();
-
+std::uint64_t run_population_many_fingerprint(const PopulationConfig& config,
+                                              int runs) {
   support::Fingerprint fp;
   fp.mix("run_population_many/v1");
   fp.mix(config.base.alpha);
@@ -144,10 +139,19 @@ PopulationMultiRunSummary run_population_many(
   fp.mix(config.base.pool_uses_selfish_strategy);
   fp.mix(config.num_miners);
   fp.mix(runs);
+  return fp.digest();
+}
+
+PopulationMultiRunSummary run_population_many(
+    const PopulationConfig& config, int runs,
+    const support::SweepCheckpoint& checkpoint,
+    support::SweepOutcome* outcome) {
+  ETHSM_EXPECTS(runs > 0, "need at least one run");
+  config.validate();
 
   const auto sweep = support::run_checkpointed<PopulationResult>(
-      checkpoint, fp.digest(), static_cast<std::size_t>(runs),
-      [&config](std::size_t r) {
+      checkpoint, run_population_many_fingerprint(config, runs),
+      static_cast<std::size_t>(runs), [&config](std::size_t r) {
         PopulationConfig run_config = config;
         run_config.base.seed = support::derive_seed(
             config.base.seed, static_cast<std::uint64_t>(r));

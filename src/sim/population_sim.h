@@ -56,6 +56,10 @@ struct PopulationMultiRunSummary {
     const support::SweepCheckpoint& checkpoint,
     support::SweepOutcome* outcome = nullptr);
 
+/// Checkpoint-store fingerprint of a run_population_many sweep (GC).
+[[nodiscard]] std::uint64_t run_population_many_fingerprint(
+    const PopulationConfig& config, int runs);
+
 }  // namespace ethsm::sim
 
 namespace ethsm::support {

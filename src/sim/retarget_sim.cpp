@@ -37,7 +37,7 @@ SegmentAccount account_segment(const chain::BlockTree& tree,
     double& own = b.miner == chain::MinerClass::selfish ? acc.pool_reward
                                                         : acc.honest_reward;
     own += 1.0;  // static reward
-    for (chain::BlockId uid : b.uncle_refs) {
+    for (chain::BlockId uid : tree.uncle_refs(cur)) {
       ++acc.referenced_uncles;
       const chain::Block& uncle = tree.block(uid);
       const int distance = static_cast<int>(b.height - uncle.height);

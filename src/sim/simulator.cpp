@@ -82,6 +82,20 @@ SimResult run_all_honest(const SimConfig& config) {
 
 }  // namespace
 
+std::uint64_t run_many_fingerprint(const SimConfig& config, int runs) {
+  return many_fingerprint("run_many/v1", config, runs);
+}
+
+std::uint64_t run_stubborn_many_fingerprint(
+    const SimConfig& config, const miner::StubbornConfig& strategy, int runs) {
+  support::Fingerprint fp;
+  fp.mix(many_fingerprint("run_stubborn_many/v1", config, runs));
+  fp.mix(strategy.lead_stubborn);
+  fp.mix(strategy.equal_fork_stubborn);
+  fp.mix(strategy.trail_stubbornness);
+  return fp.digest();
+}
+
 SimResult run_simulation(const SimConfig& config) {
   config.validate();
   if (!config.pool_uses_selfish_strategy) return run_all_honest(config);
@@ -132,7 +146,7 @@ MultiRunSummary run_many(const SimConfig& config, int runs,
   // index order afterwards, so the aggregate is bitwise-identical for any
   // thread count -- and, with a checkpoint store, across resume/shard splits.
   const auto sweep = support::run_checkpointed<SimResult>(
-      checkpoint, many_fingerprint("run_many/v1", config, runs),
+      checkpoint, run_many_fingerprint(config, runs),
       static_cast<std::size_t>(runs), [&config](std::size_t r) {
         SimConfig run_config = config;
         run_config.seed =
@@ -194,15 +208,9 @@ MultiRunSummary run_stubborn_many(const SimConfig& config,
   ETHSM_EXPECTS(config.pool_uses_selfish_strategy,
                 "stubborn variants require an attacking pool");
 
-  support::Fingerprint fp;
-  fp.mix(many_fingerprint("run_stubborn_many/v1", config, runs));
-  fp.mix(strategy.lead_stubborn);
-  fp.mix(strategy.equal_fork_stubborn);
-  fp.mix(strategy.trail_stubbornness);
-
   const auto sweep = support::run_checkpointed<SimResult>(
-      checkpoint, fp.digest(), static_cast<std::size_t>(runs),
-      [&config, &strategy](std::size_t r) {
+      checkpoint, run_stubborn_many_fingerprint(config, strategy, runs),
+      static_cast<std::size_t>(runs), [&config, &strategy](std::size_t r) {
         SimConfig run_config = config;
         run_config.seed =
             support::derive_seed(config.seed, static_cast<std::uint64_t>(r));

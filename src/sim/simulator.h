@@ -55,6 +55,14 @@ namespace ethsm::sim {
     const support::SweepCheckpoint& checkpoint,
     support::SweepOutcome* outcome = nullptr);
 
+/// Checkpoint-store fingerprints the checkpointed variants key their records
+/// by; exposed so the checkpoint GC can attribute on-disk sweeps to the
+/// experiments that own them without running anything.
+[[nodiscard]] std::uint64_t run_many_fingerprint(const SimConfig& config,
+                                                 int runs);
+[[nodiscard]] std::uint64_t run_stubborn_many_fingerprint(
+    const SimConfig& config, const miner::StubbornConfig& strategy, int runs);
+
 }  // namespace ethsm::sim
 
 #endif  // ETHSM_SIM_SIMULATOR_H

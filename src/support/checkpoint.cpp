@@ -343,6 +343,70 @@ void CheckpointStore::append(std::uint64_t job,
   records_[job] = payload;
 }
 
+// ------------------------------------------------------ directory scanning --
+
+std::vector<CheckpointFileInfo> scan_checkpoint_directory(
+    const std::string& directory) {
+  std::vector<CheckpointFileInfo> files;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(directory, ec)) {
+    if (!entry.is_regular_file()) continue;
+    if (entry.path().extension() != kFileExtension) continue;
+
+    CheckpointFileInfo info;
+    info.path = entry.path().string();
+    std::error_code size_ec;
+    info.bytes = fs::file_size(entry.path(), size_ec);
+    if (size_ec) info.bytes = 0;
+
+    std::ifstream in(info.path, std::ios::binary);
+    std::uint64_t magic = 0;
+    std::uint32_t version = 0;
+    std::uint32_t reserved = 0;
+    std::uint64_t fingerprint = 0;
+    if (in && read_raw(in, magic) && read_raw(in, version) &&
+        read_raw(in, reserved) && read_raw(in, fingerprint) &&
+        magic == CheckpointStore::kMagic &&
+        version == CheckpointStore::kFormatVersion) {
+      info.readable = true;
+      info.fingerprint = fingerprint;
+      // Same record walk as CheckpointStore::load_file: stop at the first
+      // truncated or checksum-corrupted record.
+      std::uint64_t valid_end = sizeof magic + sizeof version +
+                                sizeof reserved + sizeof fingerprint;
+      for (;;) {
+        std::uint64_t job = 0;
+        std::uint64_t size = 0;
+        if (!read_raw(in, job) || !read_raw(in, size)) break;
+        const std::uint64_t record_data_start =
+            valid_end + sizeof job + sizeof size;
+        if (size > info.bytes ||
+            record_data_start + size + sizeof(std::uint64_t) > info.bytes) {
+          break;
+        }
+        std::vector<std::byte> payload(size);
+        if (!in.read(reinterpret_cast<char*>(payload.data()),
+                     static_cast<std::streamsize>(size))) {
+          break;
+        }
+        std::uint64_t checksum = 0;
+        if (!read_raw(in, checksum)) break;
+        if (checksum != record_checksum(job, payload.data(), payload.size())) {
+          break;
+        }
+        ++info.records;
+        valid_end += sizeof job + sizeof size + size + sizeof checksum;
+      }
+    }
+    files.push_back(std::move(info));
+  }
+  std::sort(files.begin(), files.end(),
+            [](const CheckpointFileInfo& a, const CheckpointFileInfo& b) {
+              return a.path < b.path;
+            });
+  return files;
+}
+
 // -------------------------------------------------------------- bench CLI --
 
 namespace {

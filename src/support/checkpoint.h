@@ -217,6 +217,25 @@ class CheckpointStore {
   std::mutex append_mutex_;
 };
 
+// ------------------------------------------------------ directory scanning --
+
+/// One on-disk checkpoint file as reported by scan_checkpoint_directory
+/// (the substrate of `ethsm checkpoint-stats` and its --prune GC).
+struct CheckpointFileInfo {
+  std::string path;
+  std::uint64_t bytes = 0;        ///< on-disk file size
+  bool readable = false;          ///< header parsed, magic/version matched
+  std::uint64_t fingerprint = 0;  ///< sweep fingerprint (valid iff readable)
+  std::size_t records = 0;        ///< checksum-valid records
+};
+
+/// Scans every *.ethsmck file in `directory` (non-recursive, sorted by path)
+/// and summarizes its header and valid-record count. Unlike CheckpointStore,
+/// no fingerprint filter is applied: the scan sees every sweep sharing the
+/// directory. Missing directory => empty result.
+[[nodiscard]] std::vector<CheckpointFileInfo> scan_checkpoint_directory(
+    const std::string& directory);
+
 // -------------------------------------------------------- sweep-level knobs --
 
 /// Progress accounting for a (possibly resumed / sharded / budgeted) sweep.

@@ -30,6 +30,13 @@ void CsvWriter::add_row(const std::vector<std::string>& cells) {
   rows_.push_back(cells);
 }
 
+void CsvWriter::add_optional_row(const std::vector<std::optional<double>>& values) {
+  std::vector<double> plain;
+  plain.reserve(values.size());
+  for (const auto& v : values) plain.push_back(v.value_or(kMissingSentinel));
+  add_row(plain);
+}
+
 std::string CsvWriter::escape(const std::string& cell) {
   if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
   std::string out = "\"";

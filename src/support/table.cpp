@@ -32,6 +32,11 @@ std::string TextTable::pct(double value, int precision) {
   return os.str();
 }
 
+std::string TextTable::opt(const std::optional<double>& value, int precision,
+                           const char* missing) {
+  return value ? num(*value, precision) : std::string(missing);
+}
+
 std::string TextTable::render() const {
   std::vector<std::size_t> widths(headers_.size(), 0);
   auto widen = [&widths](const std::vector<std::string>& row) {

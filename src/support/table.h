@@ -6,6 +6,7 @@
 #define ETHSM_SUPPORT_TABLE_H
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,11 @@ class TextTable {
   static std::string num(double value, int precision = 4);
   /// Convenience: percentage with fixed precision (0.25 -> "25.00%").
   static std::string pct(double value, int precision = 2);
+  /// Optional column cell: the shared "-"-for-missing rendering used by every
+  /// experiment table with simulation cross-check columns (a point whose sim
+  /// runs are not all merged yet has no sim value).
+  static std::string opt(const std::optional<double>& value, int precision = 4,
+                         const char* missing = "-");
 
   [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
   [[nodiscard]] std::string render() const;

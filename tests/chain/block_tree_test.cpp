@@ -117,5 +117,26 @@ TEST_F(ForkedTree, ChildrenListsForks) {
   EXPECT_EQ(t.children(a)[1], x);
 }
 
+TEST(BlockTree, UncleRefsLiveInTheArenaAndSurviveGrowth) {
+  BlockTree t;
+  const BlockId stale = t.append(t.genesis(), MinerClass::honest, 0, 1.0);
+  t.publish(stale, 1.0);
+  const BlockId main1 = t.append(t.genesis(), MinerClass::honest, 0, 1.1);
+  const BlockId main2 =
+      t.append(main1, MinerClass::honest, 0, 2.0, {stale});
+  ASSERT_EQ(t.uncle_refs(main2).size(), 1u);
+  EXPECT_EQ(t.uncle_refs(main2)[0], stale);
+  EXPECT_TRUE(t.uncle_refs(main1).empty());
+
+  // Feeding a block's own arena slice back into append must stay valid even
+  // while the arena reallocates underneath the span.
+  BlockId tip = main2;
+  for (int i = 0; i < 64; ++i) {
+    tip = t.append(tip, MinerClass::honest, 0, 3.0 + i, t.uncle_refs(main2));
+    ASSERT_EQ(t.uncle_refs(tip).size(), 1u);
+    ASSERT_EQ(t.uncle_refs(tip)[0], stale) << i;
+  }
+}
+
 }  // namespace
 }  // namespace ethsm::chain

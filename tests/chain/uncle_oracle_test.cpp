@@ -38,7 +38,7 @@ std::vector<BlockId> oracle_candidates(const BlockTree& tree, BlockId parent,
     // 4. unreferenced on this chain
     bool referenced = false;
     for (BlockId anc = parent;; anc = tree.parent(anc)) {
-      const auto& refs = tree.block(anc).uncle_refs;
+      const auto refs = tree.uncle_refs(anc);
       if (std::find(refs.begin(), refs.end(), u) != refs.end()) {
         referenced = true;
         break;

@@ -31,7 +31,7 @@ TEST(BitcoinSelfishPolicy, NeverReferencesUncles) {
   }
   pool.finalize(now);
   for (BlockId id = 0; id < tree.size(); ++id) {
-    ASSERT_TRUE(tree.block(id).uncle_refs.empty());
+    ASSERT_TRUE(tree.uncle_refs(id).empty());
   }
 }
 

@@ -76,8 +76,8 @@ TEST(HonestPolicy, MineBlockReferencesEligibleUncles) {
   const BlockId main1 = policy.mine_block(tree, tree.genesis(), 1.0, 0);
   const BlockId stale = policy.mine_block(tree, tree.genesis(), 1.1, 0);
   const BlockId main2 = policy.mine_block(tree, main1, 2.0, 0);
-  ASSERT_EQ(tree.block(main2).uncle_refs.size(), 1u);
-  EXPECT_EQ(tree.block(main2).uncle_refs[0], stale);
+  ASSERT_EQ(tree.uncle_refs(main2).size(), 1u);
+  EXPECT_EQ(tree.uncle_refs(main2)[0], stale);
 }
 
 TEST(HonestPolicy, BitcoinConfigNeverReferences) {
@@ -87,7 +87,7 @@ TEST(HonestPolicy, BitcoinConfigNeverReferences) {
   const BlockId main1 = policy.mine_block(tree, tree.genesis(), 1.0, 0);
   policy.mine_block(tree, tree.genesis(), 1.1, 0);  // stale sibling
   const BlockId main2 = policy.mine_block(tree, main1, 2.0, 0);
-  EXPECT_TRUE(tree.block(main2).uncle_refs.empty());
+  EXPECT_TRUE(tree.uncle_refs(main2).empty());
 }
 
 TEST(HonestPolicy, RespectsUncleCap) {
@@ -99,7 +99,7 @@ TEST(HonestPolicy, RespectsUncleCap) {
   policy.mine_block(tree, tree.genesis(), 1.1, 0);
   policy.mine_block(tree, tree.genesis(), 1.2, 0);
   const BlockId main2 = policy.mine_block(tree, main1, 2.0, 0);
-  EXPECT_EQ(tree.block(main2).uncle_refs.size(), 1u);
+  EXPECT_EQ(tree.uncle_refs(main2).size(), 1u);
 }
 
 }  // namespace

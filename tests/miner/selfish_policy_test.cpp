@@ -90,8 +90,8 @@ TEST_F(PolicyFixture, PoolWinsAtTwoOne) {
   EXPECT_TRUE(tree_.is_published(p2));
   EXPECT_EQ(pool_.actions().win_at_2_1, 1u);
   // Case 4 subcase 1: the pool's second block references the honest block.
-  EXPECT_EQ(tree_.block(p2).uncle_refs.size(), 1u);
-  EXPECT_EQ(tree_.block(p2).uncle_refs[0], h1);
+  EXPECT_EQ(tree_.uncle_refs(p2).size(), 1u);
+  EXPECT_EQ(tree_.uncle_refs(p2)[0], h1);
   (void)p1;
 }
 
@@ -103,8 +103,8 @@ TEST_F(PolicyFixture, HonestWinsTieOnHonestBranch) {
   EXPECT_EQ(pool_.fork_base(), h2);
   EXPECT_EQ(pool_.actions().adopt, 1u);
   // Case 2 subsubcase 3: the winning honest block references the pool block.
-  EXPECT_EQ(tree_.block(h2).uncle_refs.size(), 1u);
-  EXPECT_EQ(tree_.block(h2).uncle_refs[0], p);
+  EXPECT_EQ(tree_.uncle_refs(h2).size(), 1u);
+  EXPECT_EQ(tree_.uncle_refs(h2)[0], p);
 }
 
 TEST_F(PolicyFixture, HonestWinsTieOnPoolBranchStillAdopts) {
@@ -114,8 +114,8 @@ TEST_F(PolicyFixture, HonestWinsTieOnPoolBranchStillAdopts) {
   expect_state(0, 0);
   EXPECT_EQ(pool_.fork_base(), h2);
   // Case 5 analogue via gamma: h1 becomes the stale block; h2 references it.
-  EXPECT_EQ(tree_.block(h2).uncle_refs.size(), 1u);
-  EXPECT_EQ(tree_.block(h2).uncle_refs[0], h1);
+  EXPECT_EQ(tree_.uncle_refs(h2).size(), 1u);
+  EXPECT_EQ(tree_.uncle_refs(h2)[0], h1);
 }
 
 TEST_F(PolicyFixture, OverridePublishesWholeBranch) {

@@ -75,5 +75,21 @@ TEST(CsvWriter, RejectsEmptyHeader) {
   EXPECT_THROW(CsvWriter({}), std::invalid_argument);
 }
 
+TEST(TextTable, OptionalCellRendering) {
+  // The shared optional-column rendering used by every experiment table with
+  // simulation cross-check columns ("-" for a not-yet-merged point).
+  EXPECT_EQ(TextTable::opt(0.1234, 3), "0.123");
+  EXPECT_EQ(TextTable::opt(std::nullopt), "-");
+  EXPECT_EQ(TextTable::opt(std::nullopt, 4, "never"), "never");
+}
+
+TEST(CsvWriter, OptionalRowUsesMissingSentinel) {
+  CsvWriter w({"alpha", "us_sim"});
+  w.add_optional_row({0.3, std::nullopt});
+  const std::string s = w.str();
+  EXPECT_NE(s.find("0.3,-1"), std::string::npos)
+      << "missing optionals must encode as the historical -1 sentinel";
+}
+
 }  // namespace
 }  // namespace ethsm::support
