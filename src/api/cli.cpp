@@ -1,7 +1,9 @@
 #include "api/cli.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -16,13 +18,17 @@
 #include "api/render.h"
 #include "api/runner.h"
 #include "api/spec.h"
+#include "api/study.h"
 #include "support/checkpoint.h"
+#include "support/json.h"
 #include "support/table.h"
 #include "support/thread_pool.h"
 
 namespace ethsm::api {
 
 namespace {
+
+using support::hex64;
 
 constexpr const char* kUsage =
     "usage:\n"
@@ -33,18 +39,17 @@ constexpr const char* kUsage =
     "            [--format table|csv|json] [--out FILE]\n"
     "            [--checkpoint-dir DIR | --resume] [--shard k/N]\n"
     "            [--max-new-jobs N]\n"
-    "  ethsm checkpoint-stats <dir> [--prune]\n";
+    "  ethsm run --all | --study FILE     (writes a results tree + manifest)\n"
+    "            [--quick] [--set key=value ...] [--out DIR]\n"
+    "            [--checkpoint-dir DIR | --resume] [--shard k/N]\n"
+    "            [--max-new-jobs N]\n"
+    "  ethsm expand <study file> | --all [--quick] [--set key=value ...]\n"
+    "  ethsm checkpoint-stats <dir> [--prune] [--keep-study FILE ...]\n"
+    "                               [--set key=value ...]\n";
 
 [[noreturn]] void usage_fail(const std::string& message) {
   std::fprintf(stderr, "error: %s\n%s", message.c_str(), kUsage);
   std::exit(2);
-}
-
-std::string hex64(std::uint64_t v) {
-  char buffer[17];
-  std::snprintf(buffer, sizeof buffer, "%016llx",
-                static_cast<unsigned long long>(v));
-  return buffer;
 }
 
 int cmd_list() {
@@ -61,24 +66,34 @@ int cmd_list() {
   return 0;
 }
 
+std::string read_text_file(const std::string& path, const char* what) {
+  std::ifstream in(path);
+  if (!in) {
+    throw SpecError("cannot read " + std::string(what) + " '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
 /// Shared spec resolution of `run` and `print`: preset or --spec file, then
 /// --set overrides through the same validated key=value path.
 struct SpecRequest {
   std::string preset;              ///< empty when --spec is used
   std::string spec_file;
+  std::string study_file;          ///< --study FILE (study-shaped run)
+  bool all = false;                ///< --all (built-in paper study)
   bool quick = false;
   std::vector<std::string> overrides;
+
+  [[nodiscard]] bool is_study() const {
+    return all || !study_file.empty();
+  }
 
   [[nodiscard]] ExperimentSpec resolve() const {
     std::string text;
     if (!spec_file.empty()) {
-      std::ifstream in(spec_file);
-      if (!in) {
-        throw SpecError("cannot read spec file '" + spec_file + "'");
-      }
-      std::ostringstream buffer;
-      buffer << in.rdbuf();
-      text = buffer.str();
+      text = read_text_file(spec_file, "spec file");
     } else {
       text = print_spec(preset_spec(preset, quick));
     }
@@ -88,12 +103,48 @@ struct SpecRequest {
     }
     return spec_from_entries(entries);
   }
+
+  /// Study-shaped expansion: the preset registry behind --all, or the study
+  /// file's matrix/variant grammar; --set overrides apply to every cell.
+  struct Expansion {
+    std::string name;
+    std::string title;
+    std::vector<StudyEntry> entries;
+  };
+
+  [[nodiscard]] Expansion expand() const {
+    Expansion expansion;
+    if (all) {
+      expansion.name = "paper";
+      expansion.title = "Full-paper artefact: every registered preset";
+      expansion.entries = paper_study_entries(quick);
+      if (!overrides.empty()) {
+        // Same --set path as single runs: re-resolve each preset's canonical
+        // entries with the overrides appended.
+        for (StudyEntry& entry : expansion.entries) {
+          SpecEntries entries = parse_spec_entries(print_spec(entry.spec));
+          for (const std::string& assignment : overrides) {
+            apply_override(entries, assignment);
+          }
+          entry.spec = spec_from_entries(entries);
+        }
+      }
+    } else {
+      const StudySpec study =
+          parse_study(read_text_file(study_file, "study file"));
+      expansion.name = study.name;
+      expansion.title = study.title;
+      expansion.entries = expand_study(study, quick, overrides);
+    }
+    return expansion;
+  }
 };
 
 struct RunArgs {
   SpecRequest request;
   OutputFormat format = OutputFormat::table;
-  std::string out_file;
+  bool format_set = false;
+  std::string out_file;  ///< file for single runs, directory for studies
   support::SweepCheckpoint checkpoint;
 };
 
@@ -114,10 +165,15 @@ RunArgs parse_run_args(int argc, char** argv, int first) {
       args.request.quick = true;
     } else if (arg == "--spec") {
       args.request.spec_file = next("--spec");
+    } else if (arg == "--study") {
+      args.request.study_file = next("--study");
+    } else if (arg == "--all") {
+      args.request.all = true;
     } else if (arg == "--set") {
       args.request.overrides.emplace_back(next("--set"));
     } else if (arg == "--format") {
       args.format = output_format_from_string(next("--format"));
+      args.format_set = true;
     } else if (arg == "--out") {
       args.out_file = next("--out");
     } else if (arg == "--checkpoint-dir") {
@@ -147,8 +203,20 @@ RunArgs parse_run_args(int argc, char** argv, int first) {
       usage_fail("unexpected argument " + std::string(arg));
     }
   }
-  if (args.request.preset.empty() && args.request.spec_file.empty()) {
-    usage_fail("run/print need a preset name or --spec FILE");
+  const int sources = (args.request.preset.empty() ? 0 : 1) +
+                      (args.request.spec_file.empty() ? 0 : 1) +
+                      (args.request.study_file.empty() ? 0 : 1) +
+                      (args.request.all ? 1 : 0);
+  if (sources == 0) {
+    usage_fail("run/print need a preset name, --spec FILE, --study FILE "
+               "or --all");
+  }
+  if (sources > 1) {
+    usage_fail("pick exactly one of <preset>, --spec, --study and --all");
+  }
+  if (args.request.is_study() && args.format_set) {
+    usage_fail("--format does not apply to study runs: the results tree "
+               "always carries table.txt + data.csv + data.json per spec");
   }
   if (!args.checkpoint.shard.is_whole_sweep() &&
       args.checkpoint.directory.empty()) {
@@ -162,16 +230,81 @@ bool write_or_print(const std::string& payload, const std::string& out_file) {
     std::cout << payload;
     return true;
   }
+  // `--out results/fig8.json` into a directory that does not exist yet should
+  // create the parents, not die on a bare stream-open error.
+  const std::filesystem::path parent =
+      std::filesystem::path(out_file).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+    if (ec) {
+      std::fprintf(stderr, "error: cannot create directory %s for --out: %s\n",
+                   parent.string().c_str(), ec.message().c_str());
+      return false;
+    }
+  }
   std::ofstream out(out_file);
   if (!out) {
-    std::fprintf(stderr, "error: cannot write %s\n", out_file.c_str());
+    std::fprintf(stderr, "error: cannot write %s: %s\n", out_file.c_str(),
+                 std::strerror(errno));
     return false;
   }
   out << payload;
   return static_cast<bool>(out);
 }
 
+/// `ethsm run --all` / `ethsm run --study FILE`: expand, execute with one
+/// shared checkpoint + budget, write the results tree. --all puts the preset
+/// directories at <out> directly (the one-command full-paper artefact);
+/// a named study nests under <out>/<study name>.
+int cmd_run_study(const RunArgs& args) {
+  const SpecRequest::Expansion expansion = args.request.expand();
+  const std::string out_base =
+      args.out_file.empty() ? std::string("ethsm-results") : args.out_file;
+  const std::string out_root =
+      args.request.all
+          ? out_base
+          : (std::filesystem::path(out_base) / expansion.name).string();
+
+  std::cout << "== study " << expansion.name << ": "
+            << expansion.entries.size() << " spec(s) ==\n"
+            << "   sweep threads: "
+            << support::ThreadPool::global().concurrency()
+            << " (override with ETHSM_THREADS)\n";
+
+  RunOptions options;
+  options.checkpoint = args.checkpoint;
+  const StudyResult study = run_study(
+      expansion.name, expansion.title, expansion.entries, options,
+      [&](std::size_t index, std::size_t total, const StudyEntryResult& e) {
+        std::cout << "[" << index << "/" << total << "] " << e.name << ": ";
+        if (e.result.complete()) {
+          std::cout << "complete";
+        } else {
+          std::cout << "partial ("
+                    << e.result.outcome.loaded + e.result.outcome.computed
+                    << " of " << e.result.outcome.jobs_total << " jobs)";
+        }
+        std::cout << "\n" << std::flush;
+      });
+
+  write_study_results(study, out_root);
+
+  if (study.checkpoint_enabled) {
+    std::cout << support::describe(args.checkpoint, study.outcome) << "\n";
+  }
+  if (!study.complete()) {
+    std::cout << "Partial study: some sweeps are missing jobs; re-run with "
+                 "the same --checkpoint-dir to finish.\n";
+  }
+  std::cout << "Results under " << out_root << " ("
+            << study.entries.size()
+            << " spec directories + manifest.json)\n";
+  return 0;
+}
+
 int cmd_run(const RunArgs& args) {
+  if (args.request.is_study()) return cmd_run_study(args);
   const ExperimentSpec spec = args.request.resolve();
   RunOptions options;
   options.checkpoint = args.checkpoint;
@@ -201,17 +334,71 @@ int cmd_run(const RunArgs& args) {
 
 int cmd_print(int argc, char** argv, int first) {
   const RunArgs args = parse_run_args(argc, argv, first);
+  if (args.request.is_study()) {
+    usage_fail("print takes a preset or --spec FILE; use `ethsm expand` for "
+               "studies");
+  }
   std::cout << print_spec(args.request.resolve());
+  return 0;
+}
+
+/// `ethsm expand <study file> | --all`: print every concrete spec the study
+/// expands to, in execution order, for inspection before a long run.
+int cmd_expand(int argc, char** argv, int first) {
+  RunArgs args;
+  for (int i = first; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) usage_fail(std::string(what) + " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--quick") {
+      args.request.quick = true;
+    } else if (arg == "--all") {
+      args.request.all = true;
+    } else if (arg == "--set") {
+      args.request.overrides.emplace_back(next("--set"));
+    } else if (!arg.empty() && arg.front() == '-') {
+      usage_fail("unknown argument " + std::string(arg));
+    } else if (args.request.study_file.empty()) {
+      args.request.study_file = std::string(arg);
+    } else {
+      usage_fail("unexpected argument " + std::string(arg));
+    }
+  }
+  if (args.request.all && !args.request.study_file.empty()) {
+    usage_fail("expand takes a study file or --all, not both");
+  }
+  if (!args.request.all && args.request.study_file.empty()) {
+    usage_fail("expand needs a study file or --all");
+  }
+
+  const SpecRequest::Expansion expansion = args.request.expand();
+  std::cout << "# study " << expansion.name << ": "
+            << expansion.entries.size() << " spec(s)\n";
+  for (const StudyEntry& entry : expansion.entries) {
+    std::cout << "\n# --- " << entry.name << " (dir: " << entry.dir
+              << ") ---\n"
+              << print_spec(entry.spec);
+  }
   return 0;
 }
 
 int cmd_checkpoint_stats(int argc, char** argv, int first) {
   std::string directory;
   bool prune = false;
+  std::vector<std::string> keep_studies;
+  std::vector<std::string> keep_overrides;
   for (int i = first; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--prune") {
       prune = true;
+    } else if (arg == "--keep-study") {
+      if (i + 1 >= argc) usage_fail("--keep-study needs a study file");
+      keep_studies.emplace_back(argv[++i]);
+    } else if (arg == "--set") {
+      if (i + 1 >= argc) usage_fail("--set needs key=value");
+      keep_overrides.emplace_back(argv[++i]);
     } else if (!arg.empty() && arg.front() == '-') {
       usage_fail("unknown argument " + std::string(arg));
     } else if (directory.empty()) {
@@ -221,17 +408,47 @@ int cmd_checkpoint_stats(int argc, char** argv, int first) {
     }
   }
   if (directory.empty()) usage_fail("checkpoint-stats needs a directory");
+  if (!keep_overrides.empty() && keep_studies.empty()) {
+    usage_fail("--set on checkpoint-stats only applies to --keep-study "
+               "expansions");
+  }
+
+  // Who references which fingerprint (registered presets, quick + full).
+  // Built before the empty-directory early return so a typo'd --keep-study
+  // path or a bad --set is reported even when there is nothing to scan.
+  std::map<std::uint64_t, std::set<std::string>> owners;
+  for (const auto& ref : referenced_fingerprints()) {
+    owners[ref.fingerprint].insert(ref.owner);
+  }
+  // Custom studies sharing the directory are not in the preset registry, so
+  // --prune would eat their records; --keep-study adds a study file's whole
+  // expansion (quick and full variants both) to the keep-set. --set changes
+  // the sweep fingerprints, so a study that was *run* with --set must be
+  // kept with the same --set here -- the unmodified expansion is always
+  // included as well.
+  for (const std::string& path : keep_studies) {
+    const StudySpec study = parse_study(read_text_file(path, "study file"));
+    for (const bool quick : {false, true}) {
+      for (const StudyEntry& entry : expand_study(study, quick)) {
+        for (std::uint64_t fp : sweep_fingerprints(entry.spec)) {
+          owners[fp].insert(quick ? study.name + " --quick" : study.name);
+        }
+      }
+      if (keep_overrides.empty()) continue;
+      for (const StudyEntry& entry :
+           expand_study(study, quick, keep_overrides)) {
+        for (std::uint64_t fp : sweep_fingerprints(entry.spec)) {
+          owners[fp].insert((quick ? study.name + " --quick" : study.name) +
+                            " --set");
+        }
+      }
+    }
+  }
 
   const auto files = support::scan_checkpoint_directory(directory);
   if (files.empty()) {
     std::cout << "no checkpoint files under " << directory << "\n";
     return 0;
-  }
-
-  // Who references which fingerprint (registered presets, quick + full).
-  std::map<std::uint64_t, std::set<std::string>> owners;
-  for (const auto& ref : referenced_fingerprints()) {
-    owners[ref.fingerprint].insert(ref.owner);
   }
 
   // Aggregate per fingerprint across shard files.
@@ -289,8 +506,9 @@ int cmd_checkpoint_stats(int argc, char** argv, int first) {
       }
     }
     std::cout << "pruned " << removed << " file(s), freed " << freed
-              << " bytes (kept every fingerprint a registered preset "
-                 "references)\n";
+              << " bytes (kept every fingerprint a registered preset"
+              << (keep_studies.empty() ? "" : " or --keep-study expansion")
+              << " references)\n";
   } else {
     std::size_t unreferenced = 0;
     for (const auto& [fingerprint, stat] : sweeps) {
@@ -311,6 +529,7 @@ int dispatch(int argc, char** argv) {
   if (command == "list") return cmd_list();
   if (command == "run") return cmd_run(parse_run_args(argc, argv, 2));
   if (command == "print") return cmd_print(argc, argv, 2);
+  if (command == "expand") return cmd_expand(argc, argv, 2);
   if (command == "checkpoint-stats") {
     return cmd_checkpoint_stats(argc, argv, 2);
   }

@@ -7,7 +7,16 @@
 //             [--format table|csv|json] [--out FILE]
 //             [--checkpoint-dir DIR | --resume] [--shard k/N]
 //             [--max-new-jobs N]
-//   ethsm checkpoint-stats <dir> [--prune]
+//   ethsm run --all | --study FILE        (study runs: results tree + manifest;
+//             [--quick] [--set ...]        --all regenerates every preset
+//             [--out DIR] [checkpoint/shard/budget flags as above]
+//   ethsm expand <study file> | --all [--quick] [--set key=value ...]
+//   ethsm checkpoint-stats <dir> [--prune] [--keep-study FILE ...]
+//                                [--set key=value ...]
+//                                         (--keep-study adds a custom study's
+//                                          expansion to the GC keep-set; pass
+//                                          the run's --set overrides too, as
+//                                          they change sweep fingerprints)
 //
 // Environment fallbacks as the historical bench CLI: ETHSM_CHECKPOINT_DIR,
 // ETHSM_SHARD (flags win). Exit codes: 0 success, 1 runtime failure, 2 usage.

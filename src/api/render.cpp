@@ -8,47 +8,13 @@
 
 #include "api/spec.h"
 #include "support/csv.h"
+#include "support/json.h"
 #include "support/table.h"
 
 namespace ethsm::api {
 
-namespace {
-
-std::string json_escape(std::string_view text) {
-  std::string out;
-  out.reserve(text.size() + 2);
-  for (char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof buffer, "\\u%04x",
-                        static_cast<unsigned>(c));
-          out += buffer;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-std::string json_number(double value) {
-  if (!std::isfinite(value)) return "null";  // JSON has no inf/nan
-  char buffer[64];
-  for (int precision = 15; precision <= 17; ++precision) {
-    std::snprintf(buffer, sizeof buffer, "%.*g", precision, value);
-    if (std::strtod(buffer, nullptr) == value) break;
-  }
-  return buffer;
-}
-
-}  // namespace
+using support::json_escape;
+using support::json_number;
 
 OutputFormat output_format_from_string(std::string_view s) {
   if (s == "table") return OutputFormat::table;
@@ -132,10 +98,8 @@ std::string render_json(const ExperimentResult& result) {
   os << "  \"kind\": \"" << to_string(result.spec.kind) << "\",\n";
   os << "  \"title\": \"" << json_escape(result.spec.title) << "\",\n";
   os << "  \"spec\": \"" << json_escape(print_spec(result.spec)) << "\",\n";
-  char fp[32];
-  std::snprintf(fp, sizeof fp, "%016llx",
-                static_cast<unsigned long long>(result.spec_fingerprint));
-  os << "  \"spec_fingerprint\": \"" << fp << "\",\n";
+  os << "  \"spec_fingerprint\": \"" << support::hex64(result.spec_fingerprint)
+     << "\",\n";
   os << "  \"complete\": " << (result.complete() ? "true" : "false") << ",\n";
   os << "  \"jobs\": {\"total\": " << result.outcome.jobs_total
      << ", \"loaded\": " << result.outcome.loaded

@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "support/check.h"
+#include "support/json.h"
 
 namespace ethsm::support {
 
@@ -195,13 +196,6 @@ std::uint64_t record_checksum(std::uint64_t job,
   return fp.digest();
 }
 
-std::string hex64(std::uint64_t v) {
-  char buffer[17];
-  std::snprintf(buffer, sizeof buffer, "%016llx",
-                static_cast<unsigned long long>(v));
-  return buffer;
-}
-
 template <typename T>
 bool read_raw(std::ifstream& in, T& out) {
   static_assert(std::is_trivially_copyable_v<T>);
@@ -222,9 +216,14 @@ CheckpointStore::CheckpointStore(std::string directory,
       fingerprint_(fingerprint),
       shard_(shard) {
   ETHSM_EXPECTS(!directory_.empty(), "checkpoint directory must be non-empty");
+  // Missing parents are created, not reported: `--checkpoint-dir a/b/c` on a
+  // fresh machine should just work. Only a real filesystem refusal (EROFS,
+  // EACCES, a file in the way) fails, and then with the OS reason, not a
+  // bare stream-open error further down.
   std::error_code ec;
   fs::create_directories(directory_, ec);
-  ETHSM_EXPECTS(!ec, "cannot create checkpoint directory " + directory_);
+  ETHSM_EXPECTS(!ec, "cannot create checkpoint directory " + directory_ +
+                         ": " + ec.message());
 
   // Merge every readable matching file: this process's earlier attempts plus
   // any other shard's output dropped into the same directory.

@@ -260,6 +260,8 @@ struct SweepOutcome {
 /// directory disables persistence entirely (the driver computes every job
 /// in-process exactly as before).
 struct SweepCheckpoint {
+  /// Created on first use, parents included; creation failure raises a
+  /// std::invalid_argument naming the directory and the OS reason.
   std::string directory;
   ShardSpec shard;
   /// Upper bound on jobs *computed* by this invocation (resume-interruption

@@ -1,0 +1,66 @@
+// Minimal JSON emission helpers shared by the result renderer (api/render)
+// and the study manifest writer (api/study). Emission only -- the repo never
+// parses JSON, it hands it to downstream tooling (CI validation, plotting).
+
+#ifndef ETHSM_SUPPORT_JSON_H
+#define ETHSM_SUPPORT_JSON_H
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+namespace ethsm::support {
+
+/// Zero-padded 16-digit hex form of a 64-bit fingerprint -- the one spelling
+/// used by checkpoint filenames, checkpoint-stats tables, the JSON renderer
+/// and the study manifest, so the same sweep is grep-able across all four.
+inline std::string hex64(std::uint64_t v) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof buffer, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buffer;
+}
+
+/// Escapes a string for inclusion between JSON double quotes.
+inline std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Shortest decimal form that parses back to exactly the same double;
+/// non-finite values become null (JSON has no inf/nan).
+inline std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buffer[64];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buffer, sizeof buffer, "%.*g", precision, value);
+    if (std::strtod(buffer, nullptr) == value) break;
+  }
+  return buffer;
+}
+
+}  // namespace ethsm::support
+
+#endif  // ETHSM_SUPPORT_JSON_H

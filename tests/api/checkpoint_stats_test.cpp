@@ -10,6 +10,7 @@
 
 #include "api/presets.h"
 #include "api/runner.h"
+#include "api/study.h"
 #include "support/checkpoint.h"
 
 namespace ethsm::support {
@@ -113,6 +114,46 @@ TEST_F(CheckpointScanTest, PresetKeepSetCoversARealSweepStore) {
       }
     }
     EXPECT_TRUE(referenced) << file.path;
+  }
+}
+
+// Runs under both `ctest -L checkpoint`-adjacent full suite and the Study*
+// label filter (`ctest -L study`): it ties the two layers together.
+using StudyGcScanTest = CheckpointScanTest;
+
+TEST_F(StudyGcScanTest, StudyKeepSetCoversItsOwnSweepStore) {
+  // A custom (non-preset) study sharing a checkpoint directory: the
+  // fingerprints `checkpoint-stats --keep-study` derives from the expansion
+  // must cover every file run_study wrote, or --prune would eat the
+  // study's records.
+  const api::StudySpec study = api::parse_study(
+      "study = gc\n"
+      "kind = threshold\n"
+      "gammas = 0,1\n"
+      "tolerance = 1e-2\n"
+      "threshold_max_lead = 25\n"
+      "variant.byz.rewards = byzantium\n"
+      "variant.flat.rewards = flat:0.5\n");
+  const auto entries = api::expand_study(study, /*quick=*/false);
+
+  api::RunOptions options;
+  options.checkpoint.directory = dir_.string();
+  const auto result = api::run_study("gc", "", entries, options);
+  ASSERT_TRUE(result.complete());
+
+  std::set<std::uint64_t> keep;
+  for (const bool quick : {false, true}) {
+    for (const api::StudyEntry& entry : api::expand_study(study, quick)) {
+      for (std::uint64_t fp : api::sweep_fingerprints(entry.spec)) {
+        keep.insert(fp);
+      }
+    }
+  }
+  const auto files = scan_checkpoint_directory(dir_.string());
+  ASSERT_FALSE(files.empty());
+  for (const auto& file : files) {
+    ASSERT_TRUE(file.readable) << file.path;
+    EXPECT_TRUE(keep.count(file.fingerprint)) << file.path;
   }
 }
 
