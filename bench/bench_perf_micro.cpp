@@ -27,7 +27,10 @@
 #include "markov/stationary.h"
 #include "miner/honest_policy.h"
 #include "miner/selfish_policy.h"
+#include "net/event_queue.h"
+#include "net/net_sim.h"
 #include "sim/simulator.h"
+#include "support/rng.h"
 #include "support/stats.h"
 #include "support/thread_pool.h"
 
@@ -267,6 +270,60 @@ void BM_UncleDistanceDistribution(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_UncleDistanceDistribution)->Unit(benchmark::kMillisecond);
+
+/// Raw event-queue throughput (src/net): a Poisson-ish workload that keeps
+/// ~1k events in flight, interleaving pushes and pops the way the network
+/// simulator does. The events_per_sec counter is the number the net sweeps
+/// are gated on -- a 100k-block complete-graph run moves tens of millions of
+/// events through this heap.
+void BM_EventQueueThroughput(benchmark::State& state) {
+  ethsm::net::EventQueue<std::uint64_t> queue;
+  ethsm::support::Xoshiro256 rng(42);
+  constexpr int kInFlight = 1'000;
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    queue.reset();
+    double now = 0.0;
+    for (int i = 0; i < kInFlight; ++i) {
+      queue.push(rng.exponential(1.0), static_cast<std::uint64_t>(i));
+    }
+    for (int i = 0; i < 20'000; ++i) {
+      const auto entry = queue.pop();
+      now = entry.time;
+      benchmark::DoNotOptimize(entry.payload);
+      queue.push(now + rng.exponential(1.0), entry.payload);
+    }
+    ops += 20'000 + kInFlight;
+  }
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(ops), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EventQueueThroughput)->Unit(benchmark::kMillisecond);
+
+/// End-to-end network-simulator throughput: one 10k-block run on the default
+/// zero-latency complete graph, reporting both blocks and discrete events per
+/// second (gossip messages dominate; ~E announces + N request/deliver pairs
+/// per block).
+void BM_NetSimulatorEventsPerSec(benchmark::State& state) {
+  ethsm::net::NetSimConfig config;
+  config.alpha = 0.3;
+  config.honest_nodes = 16;
+  config.num_blocks = 10'000;
+  config.seed = 7;
+  std::uint64_t events = 0;
+  std::uint64_t blocks = 0;
+  for (auto _ : state) {
+    const auto result = ethsm::net::run_net_simulation(config);
+    events += result.events_processed;
+    blocks += config.num_blocks;
+    benchmark::DoNotOptimize(result.race_samples);
+  }
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["blocks_per_sec"] = benchmark::Counter(
+      static_cast<double>(blocks), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_NetSimulatorEventsPerSec)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

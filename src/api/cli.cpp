@@ -42,9 +42,10 @@ constexpr const char* kUsage =
     "  ethsm run --all | --study FILE     (writes a results tree + manifest)\n"
     "            [--quick] [--set key=value ...] [--out DIR]\n"
     "            [--checkpoint-dir DIR | --resume] [--shard k/N]\n"
-    "            [--max-new-jobs N]\n"
+    "            [--cell-shard k/N] [--max-new-jobs N]\n"
     "  ethsm expand <study file> | --all [--quick] [--set key=value ...]\n"
-    "  ethsm checkpoint-stats <dir> [--prune] [--keep-study FILE ...]\n"
+    "  ethsm checkpoint-stats <dir> [--prune [--dry-run]]\n"
+    "                               [--keep-study FILE ...]\n"
     "                               [--set key=value ...]\n";
 
 [[noreturn]] void usage_fail(const std::string& message) {
@@ -146,6 +147,7 @@ struct RunArgs {
   bool format_set = false;
   std::string out_file;  ///< file for single runs, directory for studies
   support::SweepCheckpoint checkpoint;
+  support::ShardSpec cell_shard;  ///< whole-cell round-robin (study runs)
 };
 
 RunArgs parse_run_args(int argc, char** argv, int first) {
@@ -186,6 +188,12 @@ RunArgs parse_run_args(int argc, char** argv, int first) {
       const auto shard = support::parse_shard(next("--shard"));
       if (!shard) usage_fail("malformed --shard (want k/N with 0 <= k < N)");
       args.checkpoint.shard = *shard;
+    } else if (arg == "--cell-shard") {
+      const auto shard = support::parse_shard(next("--cell-shard"));
+      if (!shard) {
+        usage_fail("malformed --cell-shard (want k/N with 0 <= k < N)");
+      }
+      args.cell_shard = *shard;
     } else if (arg == "--max-new-jobs") {
       const char* text = next("--max-new-jobs");
       char* end = nullptr;
@@ -221,6 +229,15 @@ RunArgs parse_run_args(int argc, char** argv, int first) {
   if (!args.checkpoint.shard.is_whole_sweep() &&
       args.checkpoint.directory.empty()) {
     usage_fail("--shard requires --checkpoint-dir (shards merge through disk)");
+  }
+  if (!args.cell_shard.is_whole_sweep() && !args.request.is_study()) {
+    usage_fail("--cell-shard applies to study runs (--study FILE or --all); "
+               "use --shard k/N to stripe a single spec's jobs");
+  }
+  if (!args.cell_shard.is_whole_sweep() && args.checkpoint.directory.empty()) {
+    usage_fail("--cell-shard requires --checkpoint-dir (the merge pass "
+               "collects every shard's cells through disk; without it this "
+               "shard's work would be discarded)");
   }
   return args;
 }
@@ -271,6 +288,17 @@ int cmd_run_study(const RunArgs& args) {
             << "   sweep threads: "
             << support::ThreadPool::global().concurrency()
             << " (override with ETHSM_THREADS)\n";
+  if (!args.cell_shard.is_whole_sweep()) {
+    std::size_t owned = 0;
+    for (std::size_t i = 0; i < expansion.entries.size(); ++i) {
+      if (args.cell_shard.owns(i)) ++owned;
+    }
+    std::cout << "   cell shard " << args.cell_shard.index << "/"
+              << args.cell_shard.count << ": running " << owned << " of "
+              << expansion.entries.size()
+              << " cells (cell i -> shard i % N; merge with a final run "
+                 "without --cell-shard)\n";
+  }
 
   RunOptions options;
   options.checkpoint = args.checkpoint;
@@ -278,7 +306,9 @@ int cmd_run_study(const RunArgs& args) {
       expansion.name, expansion.title, expansion.entries, options,
       [&](std::size_t index, std::size_t total, const StudyEntryResult& e) {
         std::cout << "[" << index << "/" << total << "] " << e.name << ": ";
-        if (e.result.complete()) {
+        if (e.skipped) {
+          std::cout << "skipped (cell of shard " << e.cell_owner << ")";
+        } else if (e.result.complete()) {
           std::cout << "complete";
         } else {
           std::cout << "partial ("
@@ -286,7 +316,8 @@ int cmd_run_study(const RunArgs& args) {
                     << " of " << e.result.outcome.jobs_total << " jobs)";
         }
         std::cout << "\n" << std::flush;
-      });
+      },
+      args.cell_shard);
 
   write_study_results(study, out_root);
 
@@ -294,11 +325,20 @@ int cmd_run_study(const RunArgs& args) {
     std::cout << support::describe(args.checkpoint, study.outcome) << "\n";
   }
   if (!study.complete()) {
-    std::cout << "Partial study: some sweeps are missing jobs; re-run with "
-                 "the same --checkpoint-dir to finish.\n";
+    if (!args.cell_shard.is_whole_sweep()) {
+      std::cout << "Partial study (cell shard): run the remaining shards, "
+                   "then merge with a final run sharing --checkpoint-dir and "
+                   "no --cell-shard.\n";
+    } else {
+      std::cout << "Partial study: some sweeps are missing jobs; re-run with "
+                   "the same --checkpoint-dir to finish.\n";
+    }
   }
-  std::cout << "Results under " << out_root << " ("
-            << study.entries.size()
+  std::size_t written = 0;
+  for (const StudyEntryResult& e : study.entries) {
+    if (!e.skipped) ++written;
+  }
+  std::cout << "Results under " << out_root << " (" << written
             << " spec directories + manifest.json)\n";
   return 0;
 }
@@ -387,12 +427,15 @@ int cmd_expand(int argc, char** argv, int first) {
 int cmd_checkpoint_stats(int argc, char** argv, int first) {
   std::string directory;
   bool prune = false;
+  bool dry_run = false;
   std::vector<std::string> keep_studies;
   std::vector<std::string> keep_overrides;
   for (int i = first; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--prune") {
       prune = true;
+    } else if (arg == "--dry-run") {
+      dry_run = true;
     } else if (arg == "--keep-study") {
       if (i + 1 >= argc) usage_fail("--keep-study needs a study file");
       keep_studies.emplace_back(argv[++i]);
@@ -411,6 +454,10 @@ int cmd_checkpoint_stats(int argc, char** argv, int first) {
   if (!keep_overrides.empty() && keep_studies.empty()) {
     usage_fail("--set on checkpoint-stats only applies to --keep-study "
                "expansions");
+  }
+  if (dry_run && !prune) {
+    usage_fail("--dry-run modifies --prune (print what would be deleted); "
+               "plain checkpoint-stats already never deletes");
   }
 
   // Who references which fingerprint (registered presets, quick + full).
@@ -490,7 +537,24 @@ int cmd_checkpoint_stats(int argc, char** argv, int first) {
               << file->bytes << " bytes)\n";
   }
 
-  if (prune) {
+  if (prune && dry_run) {
+    // Same selection as a real prune, zero filesystem writes: lets an
+    // operator audit what a shared checkpoint directory would lose before
+    // committing (a forgotten --keep-study shows up here, not as data loss).
+    std::uint64_t would_free = 0;
+    std::size_t would_remove = 0;
+    for (const auto& file : files) {
+      if (!file.readable) continue;  // never guess about foreign files
+      if (owners.count(file.fingerprint) != 0) continue;
+      std::cout << "would prune " << hex64(file.fingerprint) << " "
+                << file.path << " (" << file.bytes << " bytes)\n";
+      ++would_remove;
+      would_free += file.bytes;
+    }
+    std::cout << "dry run: would prune " << would_remove
+              << " file(s), freeing " << would_free
+              << " bytes; re-run without --dry-run to delete\n";
+  } else if (prune) {
     std::uint64_t freed = 0;
     std::size_t removed = 0;
     for (const auto& file : files) {

@@ -9,11 +9,15 @@
 #include <memory>
 #include <sstream>
 
+#include "net/net_sim.h"
+#include "net/topology.h"
+#include "support/math_util.h"
+
 namespace ethsm::api {
 
 namespace {
 
-constexpr std::array<std::pair<ExperimentKind, std::string_view>, 9> kKindNames{
+constexpr std::array<std::pair<ExperimentKind, std::string_view>, 10> kKindNames{
     {{ExperimentKind::revenue, "revenue"},
      {ExperimentKind::threshold, "threshold"},
      {ExperimentKind::reward_design, "reward_design"},
@@ -22,7 +26,8 @@ constexpr std::array<std::pair<ExperimentKind, std::string_view>, 9> kKindNames{
      {ExperimentKind::stubborn_sim, "stubborn_sim"},
      {ExperimentKind::timeline, "timeline"},
      {ExperimentKind::retarget, "retarget"},
-     {ExperimentKind::delay, "delay"}}};
+     {ExperimentKind::delay, "delay"},
+     {ExperimentKind::net, "net"}}};
 
 [[noreturn]] void fail(const std::string& message) { throw SpecError(message); }
 
@@ -123,14 +128,9 @@ std::vector<double> parse_grid(std::string_view key, std::string_view text) {
 }
 
 /// Shortest decimal form that parses back to exactly the same double, so
-/// print -> parse round-trips bitwise.
+/// print -> parse round-trips bitwise (shared with the net grammars).
 std::string print_double(double value) {
-  char buffer[64];
-  for (int precision = 15; precision <= 17; ++precision) {
-    std::snprintf(buffer, sizeof buffer, "%.*g", precision, value);
-    if (std::strtod(buffer, nullptr) == value) break;
-  }
-  return buffer;
+  return support::print_shortest_double(value);
 }
 
 std::string print_grid(const std::vector<double>& grid) {
@@ -274,6 +274,29 @@ ExperimentSpec spec_from_entries(const SpecEntries& entries) {
       spec.shares = parse_grid(key, value);
     } else if (key == "delay") {
       spec.delay = parse_double(key, value);
+    } else if (key == "net.topology") {
+      spec.net_topology = std::string(trim(value));
+      try {
+        (void)net::parse_topology_spec(spec.net_topology);  // validate eagerly
+      } catch (const std::invalid_argument& e) {
+        fail("spec key 'net.topology': " + std::string(e.what()));
+      }
+    } else if (key == "net.nodes") {
+      spec.net_nodes = parse_int(key, value);
+    } else if (key == "net.latency") {
+      spec.net_latency = std::string(trim(value));
+      try {
+        (void)net::parse_latency_spec(spec.net_latency);
+      } catch (const std::invalid_argument& e) {
+        fail("spec key 'net.latency': " + std::string(e.what()));
+      }
+    } else if (key == "net.relay") {
+      spec.net_relay = std::string(trim(value));
+      try {
+        (void)net::relay_mode_from_string(spec.net_relay);
+      } catch (const std::invalid_argument& e) {
+        fail("spec key 'net.relay': " + std::string(e.what()));
+      }
     } else if (key == "epoch_blocks") {
       spec.epoch_blocks = parse_u64(key, value);
     } else if (key == "epochs") {
@@ -281,6 +304,15 @@ ExperimentSpec spec_from_entries(const SpecEntries& entries) {
     } else if (key == "phase1_blocks") {
       spec.phase1_blocks = parse_double(key, value);
     } else if (!apply_series_key(spec, key, value)) {
+      // A spec file carrying study grammar is the single most common mix-up
+      // -- point at the right subcommand instead of a bare unknown-key error.
+      if (key == "study" || key.rfind("variant.", 0) == 0 ||
+          key.rfind("matrix.", 0) == 0 || key.rfind("quick.", 0) == 0) {
+        fail("spec key '" + key +
+             "' is study grammar (study/variant./matrix./quick.): this file "
+             "is a study, not a spec -- run it with `ethsm run --study FILE` "
+             "or inspect the expansion with `ethsm expand FILE`");
+      }
       fail("unknown spec key '" + key + "'");
     }
   }
@@ -298,6 +330,9 @@ ExperimentSpec spec_from_entries(const SpecEntries& entries) {
   if (spec.sim_blocks == 0) fail("sim_blocks must be >= 1");
   if (spec.epochs < 1) fail("epochs must be >= 1");
   if (spec.epoch_blocks == 0) fail("epoch_blocks must be >= 1");
+  if (spec.net_nodes < 1 || spec.net_nodes > 512) {
+    fail("net.nodes must lie in [1, 512]");
+  }
   return spec;
 }
 
@@ -358,6 +393,16 @@ std::string print_spec(const ExperimentSpec& spec) {
   }
   if (!spec.shares.empty()) put("shares", print_grid(spec.shares));
   if (spec.delay != defaults.delay) put("delay", print_double(spec.delay));
+  if (spec.net_topology != defaults.net_topology) {
+    put("net.topology", spec.net_topology);
+  }
+  if (spec.net_nodes != defaults.net_nodes) {
+    put("net.nodes", std::to_string(spec.net_nodes));
+  }
+  if (spec.net_latency != defaults.net_latency) {
+    put("net.latency", spec.net_latency);
+  }
+  if (spec.net_relay != defaults.net_relay) put("net.relay", spec.net_relay);
   if (spec.epoch_blocks != defaults.epoch_blocks) {
     put("epoch_blocks", std::to_string(spec.epoch_blocks));
   }

@@ -53,6 +53,7 @@ enum class ExperimentKind {
   timeline,        ///< time-to-profit of the attack per alpha (extension)
   retarget,        ///< live difficulty retargeting trajectory (extension)
   delay,           ///< all-honest delay network sweep (uncle economics)
+  net,             ///< P2P network simulation with endogenous gamma (src/net)
 };
 
 [[nodiscard]] std::string_view to_string(ExperimentKind kind) noexcept;
@@ -113,6 +114,12 @@ struct ExperimentSpec {
   // Delay-network model.
   std::vector<double> shares;      ///< hash shares; empty = 20 equal miners
   double delay = 0.15;             ///< propagation delay / block interval
+
+  // P2P network model (`net` kind; grammars in net/topology.h, net/net_sim.h).
+  std::string net_topology = "complete";  ///< complete|star|ring|random:p|...
+  int net_nodes = 16;                     ///< honest miner nodes (attacker extra)
+  std::string net_latency = "fixed:0";    ///< fixed:ms|uniform:lo:hi|exp:mean
+  std::string net_relay = "push";         ///< push|announce relay forwarding
 
   // Retargeting model.
   std::uint64_t epoch_blocks = 500;

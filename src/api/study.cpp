@@ -302,28 +302,47 @@ std::vector<StudyEntry> paper_study_entries(bool quick) {
 
 StudyResult run_study(std::string name, std::string title,
                       const std::vector<StudyEntry>& entries,
-                      const RunOptions& options,
-                      const StudyProgress& progress) {
+                      const RunOptions& options, const StudyProgress& progress,
+                      support::ShardSpec cell_shard) {
   StudyResult study;
   study.name = std::move(name);
   study.title = std::move(title);
   study.checkpoint_enabled = options.checkpoint.enabled();
+  study.cell_shard = cell_shard;
   study.entries.reserve(entries.size());
 
   // One budget for the whole study: every spec sees what the previous ones
   // left over, so --max-new-jobs interrupts the study as a unit and a resume
   // picks up at the first unfinished sweep.
   support::SweepCheckpoint remaining = options.checkpoint;
-  for (const StudyEntry& entry : entries) {
-    RunOptions entry_options;
-    entry_options.checkpoint = remaining;
-    ExperimentResult result = run(entry.spec, entry_options);
-    if (remaining.max_new_jobs != static_cast<std::size_t>(-1)) {
-      remaining.max_new_jobs -=
-          std::min(result.outcome.computed, remaining.max_new_jobs);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const StudyEntry& entry = entries[i];
+    StudyEntryResult entry_result;
+    entry_result.name = entry.name;
+    entry_result.dir = entry.dir;
+    entry_result.cell_owner =
+        static_cast<std::uint32_t>(i % cell_shard.count);
+    if (!cell_shard.owns(i)) {
+      // Not this shard's cell: record provenance (so the manifest names the
+      // assignment and GC keep-sets still see the fingerprints) but run
+      // nothing -- unlike job-level striping, a foreign cell costs zero work.
+      entry_result.skipped = true;
+      entry_result.result.spec = entry.spec;
+      entry_result.result.spec_fingerprint = spec_fingerprint(entry.spec);
+      entry_result.result.sweep_fingerprints = sweep_fingerprints(entry.spec);
+      study.entries.push_back(std::move(entry_result));
+    } else {
+      RunOptions entry_options;
+      entry_options.checkpoint = remaining;
+      ExperimentResult result = run(entry.spec, entry_options);
+      if (remaining.max_new_jobs != static_cast<std::size_t>(-1)) {
+        remaining.max_new_jobs -=
+            std::min(result.outcome.computed, remaining.max_new_jobs);
+      }
+      study.outcome.merge(result.outcome);
+      entry_result.result = std::move(result);
+      study.entries.push_back(std::move(entry_result));
     }
-    study.outcome.merge(result.outcome);
-    study.entries.push_back({entry.name, entry.dir, std::move(result)});
     if (progress) {
       progress(study.entries.size(), entries.size(), study.entries.back());
     }
@@ -363,37 +382,47 @@ void write_study_results(const StudyResult& study,
   manifest << "  \"title\": \"" << json_escape(study.title) << "\",\n";
   manifest << "  \"complete\": " << (study.complete() ? "true" : "false")
            << ",\n";
+  if (!study.cell_shard.is_whole_sweep()) {
+    manifest << "  \"cell_shard\": \"" << study.cell_shard.index << "/"
+             << study.cell_shard.count << "\",\n";
+  }
   manifest << "  \"entries\": [";
 
   for (std::size_t i = 0; i < study.entries.size(); ++i) {
     const StudyEntryResult& entry = study.entries[i];
-    const fs::path dir = fs::path(out_root) / entry.dir;
-    fs::create_directories(dir, ec);
-    if (ec) {
-      throw std::runtime_error("cannot create results directory " +
-                               dir.string() + ": " + ec.message());
-    }
-
-    const ExperimentResult view = artefact_view(entry.result);
     std::vector<std::string> files;
-    {
-      std::ostringstream os;
-      render_text(view, os);
-      write_file(dir / "table.txt", os.str());
-      files.push_back("table.txt");
+    if (!entry.skipped) {
+      const fs::path dir = fs::path(out_root) / entry.dir;
+      fs::create_directories(dir, ec);
+      if (ec) {
+        throw std::runtime_error("cannot create results directory " +
+                                 dir.string() + ": " + ec.message());
+      }
+
+      const ExperimentResult view = artefact_view(entry.result);
+      {
+        std::ostringstream os;
+        render_text(view, os);
+        write_file(dir / "table.txt", os.str());
+        files.push_back("table.txt");
+      }
+      const std::string csv =
+          view.complete() ? render_csv(view) : std::string();
+      if (!csv.empty()) {
+        write_file(dir / "data.csv", csv);
+        files.push_back("data.csv");
+      } else {
+        // An earlier complete run may have left a data.csv in this directory;
+        // a file the manifest no longer lists must not survive to contradict
+        // the sibling data.json.
+        fs::remove(dir / "data.csv", ec);
+      }
+      write_file(dir / "data.json", render_json(view));
+      files.push_back("data.json");
     }
-    const std::string csv = view.complete() ? render_csv(view) : std::string();
-    if (!csv.empty()) {
-      write_file(dir / "data.csv", csv);
-      files.push_back("data.csv");
-    } else {
-      // An earlier complete run may have left a data.csv in this directory;
-      // a file the manifest no longer lists must not survive to contradict
-      // the sibling data.json.
-      fs::remove(dir / "data.csv", ec);
-    }
-    write_file(dir / "data.json", render_json(view));
-    files.push_back("data.json");
+    // A skipped cell (foreign cell shard) gets a manifest record -- with the
+    // shard assignment -- but no files and no directory; whatever a previous
+    // merge pass wrote there is left untouched.
 
     manifest << (i ? ",\n" : "\n");
     manifest << "    {\"name\": \"" << json_escape(entry.name)
@@ -403,8 +432,12 @@ void write_study_results(const StudyResult& study,
              << "\",\n     \"spec_fingerprint\": \""
              << hex64(entry.result.spec_fingerprint)
              << "\", \"complete\": "
-             << (entry.result.complete() ? "true" : "false")
-             << ",\n     \"sweep_fingerprints\": [";
+             << (entry.result.complete() && !entry.skipped ? "true" : "false");
+    if (!study.cell_shard.is_whole_sweep()) {
+      manifest << ", \"cell_owner\": " << entry.cell_owner
+               << ", \"skipped\": " << (entry.skipped ? "true" : "false");
+    }
+    manifest << ",\n     \"sweep_fingerprints\": [";
     for (std::size_t f = 0; f < entry.result.sweep_fingerprints.size(); ++f) {
       manifest << (f ? ", " : "") << '"'
                << hex64(entry.result.sweep_fingerprints[f]) << '"';

@@ -27,7 +27,8 @@ void for_each_window_ancestor(const BlockTree& tree, BlockId parent,
 }  // namespace
 
 void find_uncle_candidates(const BlockTree& tree, BlockId parent, int horizon,
-                           UncleScratch& scratch) {
+                           UncleScratch& scratch,
+                           std::span<const std::uint8_t> visible) {
   ETHSM_EXPECTS(horizon >= 0, "horizon must be non-negative");
   std::vector<UncleCandidate>& out = scratch.candidates;
   out.clear();
@@ -52,6 +53,12 @@ void find_uncle_candidates(const BlockTree& tree, BlockId parent, int horizon,
     for (BlockId child : tree.children(anc)) {
       if (child == on_chain_child || child == parent) continue;  // ancestor of N
       if (!tree.is_published(child)) continue;  // invisible to other miners
+      // Per-node visibility (network simulator): published but not yet
+      // propagated to this miner.
+      if (!visible.empty() &&
+          (child >= visible.size() || visible[child] == 0)) {
+        continue;
+      }
       if (std::find(already_referenced.begin(), already_referenced.end(),
                     child) != already_referenced.end()) {
         continue;
@@ -81,10 +88,10 @@ std::vector<UncleCandidate> find_uncle_candidates(const BlockTree& tree,
 }
 
 void collect_uncle_references(const BlockTree& tree, BlockId parent,
-                              int horizon, int max_refs,
-                              UncleScratch& scratch) {
+                              int horizon, int max_refs, UncleScratch& scratch,
+                              std::span<const std::uint8_t> visible) {
   ETHSM_EXPECTS(max_refs >= 0, "max_refs must be >= 0 (0 = unlimited)");
-  find_uncle_candidates(tree, parent, horizon, scratch);
+  find_uncle_candidates(tree, parent, horizon, scratch, visible);
   std::vector<BlockId>& refs = scratch.refs;
   refs.clear();
   for (const auto& c : scratch.candidates) {

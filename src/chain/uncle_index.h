@@ -16,6 +16,7 @@
 #ifndef ETHSM_CHAIN_UNCLE_INDEX_H
 #define ETHSM_CHAIN_UNCLE_INDEX_H
 
+#include <span>
 #include <vector>
 
 #include "chain/block_tree.h"
@@ -52,14 +53,20 @@ struct UncleScratch {
 
 /// In-place find_uncle_candidates: fills scratch.candidates (clearing it
 /// first), using scratch.referenced as the already-referenced working set.
+/// A non-empty `visible` mask (indexed by BlockId, nonzero = visible)
+/// additionally restricts candidates to blocks this miner has actually
+/// received -- the network simulator's per-node view, where a published
+/// block may not have propagated to the referencing miner yet. An empty
+/// mask keeps the historical published-only filtering.
 void find_uncle_candidates(const BlockTree& tree, BlockId parent, int horizon,
-                           UncleScratch& scratch);
+                           UncleScratch& scratch,
+                           std::span<const std::uint8_t> visible = {});
 
 /// In-place collect_uncle_references: result lands in scratch.refs. This is
-/// what the mining policies call.
+/// what the mining policies call. `visible` as in find_uncle_candidates.
 void collect_uncle_references(const BlockTree& tree, BlockId parent,
-                              int horizon, int max_refs,
-                              UncleScratch& scratch);
+                              int horizon, int max_refs, UncleScratch& scratch,
+                              std::span<const std::uint8_t> visible = {});
 
 /// True iff `uncle` would be an eligible reference for a new block on
 /// `parent` at the given horizon (the conditions in the header comment).

@@ -33,8 +33,8 @@ int SelfishPolicy::public_length() const noexcept {
 std::span<const BlockId> SelfishPolicy::make_references(BlockId parent) {
   if (!config_.reference_uncles) return {};
   chain::collect_uncle_references(tree_, parent, config_.reference_horizon,
-                                  config_.max_uncles_per_block,
-                                  uncle_scratch_);
+                                  config_.max_uncles_per_block, uncle_scratch_,
+                                  config_.uncle_visibility);
   return uncle_scratch_.refs;
 }
 

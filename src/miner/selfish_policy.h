@@ -43,6 +43,11 @@ struct SelfishPolicyConfig {
   bool reference_uncles = true;
   /// Miner id stamped on pool blocks (population simulator).
   std::uint32_t pool_miner_id = 0;
+  /// Per-node visibility mask for uncle candidates (network simulator:
+  /// indexed by BlockId, nonzero = the pool has actually received the
+  /// block). Empty = the aggregate model, where publication implies
+  /// visibility. The span must outlive the policy.
+  std::span<const std::uint8_t> uncle_visibility = {};
 
   [[nodiscard]] static SelfishPolicyConfig from_rewards(
       const rewards::RewardConfig& rc) {
@@ -72,6 +77,14 @@ class SelfishPolicy {
   /// winning chain (longest; ties go to the honest branch, which was public
   /// first). The policy is left in a terminal state.
   chain::BlockId finalize(double now);
+
+  /// Network-layer resync hook (net/net_sim.h): restart Algorithm 1 with
+  /// `new_base` as the consensus tip, dropping all race bookkeeping. Publishes
+  /// nothing -- a caller that wants the private branch released must publish
+  /// it first (e.g. via finalize); the dropped branch is forgotten, not
+  /// published. Used when a natural latency fork overtakes the tracked public
+  /// view, a situation Algorithm 1's two-branch state cannot express.
+  void rebase(chain::BlockId new_base) { reset_to(new_base); }
 
   /// What honest miners can see right now.
   [[nodiscard]] PublicView public_view() const;

@@ -1,0 +1,94 @@
+// Deterministic discrete-event queue for the P2P network simulator.
+//
+// A binary min-heap ordered by (time, seq): `seq` is a monotonically
+// increasing push counter, so two events scheduled for the same instant pop
+// in the order they were scheduled. That stability is what makes a network
+// run a pure function of its seed -- the relay of an honest block and the
+// attacker's matching publication may leave a hub at the same timestamp, and
+// the winner of the resulting first-seen race must not depend on heap
+// internals or platform tie-breaking.
+//
+// The payload type is a template parameter; the queue owns nothing beyond the
+// event records themselves and reuses its backing vector across reset()s, so
+// the simulation hot loop performs no steady-state allocation.
+
+#ifndef ETHSM_NET_EVENT_QUEUE_H
+#define ETHSM_NET_EVENT_QUEUE_H
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "support/check.h"
+
+namespace ethsm::net {
+
+/// Min-heap of (time, seq, payload) with stable same-time ordering.
+template <typename Payload>
+class EventQueue {
+ public:
+  struct Entry {
+    double time = 0.0;
+    std::uint64_t seq = 0;
+    Payload payload{};
+
+    /// Heap order: earliest time first; among equal times, lowest seq
+    /// (i.e. scheduled-first) wins.
+    [[nodiscard]] bool before(const Entry& other) const noexcept {
+      if (time != other.time) return time < other.time;
+      return seq < other.seq;
+    }
+  };
+
+  /// Schedules `payload` at absolute time `time`; returns the assigned seq.
+  std::uint64_t push(double time, const Payload& payload) {
+    Entry entry;
+    entry.time = time;
+    entry.seq = next_seq_++;
+    entry.payload = payload;
+    heap_.push_back(entry);
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    return entry.seq;
+  }
+
+  /// Removes and returns the earliest event. Empty queue is a logic error.
+  Entry pop() {
+    ETHSM_EXPECTS(!heap_.empty(), "pop on an empty event queue");
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Entry entry = heap_.back();
+    heap_.pop_back();
+    return entry;
+  }
+
+  [[nodiscard]] const Entry& top() const {
+    ETHSM_EXPECTS(!heap_.empty(), "top on an empty event queue");
+    return heap_.front();
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  /// Total events ever pushed (the seq counter); survives reset().
+  [[nodiscard]] std::uint64_t pushed() const noexcept { return next_seq_; }
+
+  /// Clears the queue, keeping capacity and restarting the seq counter.
+  void reset() {
+    heap_.clear();
+    next_seq_ = 0;
+  }
+
+ private:
+  /// std::*_heap comparators build a max-heap, so "later than" puts the
+  /// earliest (time, seq) at the front.
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      return b.before(a);
+    }
+  };
+
+  std::vector<Entry> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace ethsm::net
+
+#endif  // ETHSM_NET_EVENT_QUEUE_H

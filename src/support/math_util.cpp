@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <numeric>
 
 #include "support/check.h"
@@ -81,6 +83,15 @@ double ipow(double base, int exponent) noexcept {
     e >>= 1;
   }
   return result;
+}
+
+std::string print_shortest_double(double value) {
+  char buffer[64];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buffer, sizeof buffer, "%.*g", precision, value);
+    if (std::strtod(buffer, nullptr) == value) break;
+  }
+  return buffer;
 }
 
 }  // namespace ethsm::support

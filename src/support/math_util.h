@@ -7,6 +7,7 @@
 
 #include <functional>
 #include <optional>
+#include <string>
 
 namespace ethsm::support {
 
@@ -56,6 +57,12 @@ struct FirstTrueReport {
 /// Relative/absolute closeness test: |a-b| <= atol + rtol*max(|a|,|b|).
 [[nodiscard]] bool close(double a, double b, double rtol = 1e-9,
                          double atol = 1e-12) noexcept;
+
+/// Shortest decimal form that strtod parses back to exactly the same double.
+/// The round-trip contract behind every text codec that must re-parse
+/// bitwise: spec files (api/spec.cpp) and the net topology/latency grammars
+/// (net/topology.cpp) share this one implementation so they cannot diverge.
+[[nodiscard]] std::string print_shortest_double(double value);
 
 /// Sum of the finite geometric series q^0 + q^1 + ... + q^{n-1}.
 [[nodiscard]] double geometric_sum(double q, int n) noexcept;

@@ -56,6 +56,48 @@ TEST(SpecCodec, UnknownKeyIsAnError) {
   EXPECT_THROW((void)parse_spec("series.0.wat = 1\n"), SpecError);
 }
 
+TEST(SpecCodec, NetKeysRoundTripAndValidateEagerly) {
+  const char* text =
+      "kind = net\n"
+      "net.topology = two_clusters:2000\n"
+      "net.nodes = 12\n"
+      "net.latency = uniform:20:80\n"
+      "net.relay = announce\n";
+  const ExperimentSpec spec = parse_spec(text);
+  EXPECT_EQ(spec.kind, ExperimentKind::net);
+  EXPECT_EQ(spec.net_topology, "two_clusters:2000");
+  EXPECT_EQ(spec.net_nodes, 12);
+  EXPECT_EQ(spec.net_latency, "uniform:20:80");
+  EXPECT_EQ(spec.net_relay, "announce");
+  EXPECT_EQ(parse_spec(print_spec(spec)), spec);
+
+  // Malformed grammars die at parse time with the offending key named.
+  EXPECT_THROW((void)parse_spec("kind = net\nnet.topology = mesh\n"),
+               SpecError);
+  EXPECT_THROW((void)parse_spec("kind = net\nnet.latency = 50\n"), SpecError);
+  EXPECT_THROW((void)parse_spec("kind = net\nnet.relay = flood\n"), SpecError);
+  EXPECT_THROW((void)parse_spec("kind = net\nnet.nodes = 0\n"), SpecError);
+  EXPECT_THROW((void)parse_spec("kind = net\nnet.nodes = 100000\n"), SpecError);
+}
+
+TEST(SpecCodec, StudyGrammarInASpecSuggestsTheStudySubcommands) {
+  // `ethsm run --spec FILE` on a study file used to die with a bare
+  // unknown-key error; the message must now point at run --study / expand.
+  for (const char* text :
+       {"study = zoo\nkind = net\n", "kind = net\nmatrix.gamma = 0|1\n",
+        "kind = net\nvariant.a.rewards = byzantium\n",
+        "kind = net\nquick.sim_runs = 2\n"}) {
+    try {
+      (void)parse_spec(text);
+      FAIL() << "expected SpecError for:\n" << text;
+    } catch (const SpecError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("ethsm run --study"), std::string::npos) << what;
+      EXPECT_NE(what.find("ethsm expand"), std::string::npos) << what;
+    }
+  }
+}
+
 TEST(SpecCodec, MalformedValuesAreErrors) {
   EXPECT_THROW((void)parse_spec("gamma = abc\n"), SpecError);
   EXPECT_THROW((void)parse_spec("kind = nope\n"), SpecError);

@@ -332,5 +332,67 @@ TEST_F(StudyRunTest, ManifestListsEveryEntryWithFingerprints) {
   }
 }
 
+TEST_F(StudyRunTest, CellShardsPartitionCellsAndMergeBitwise) {
+  const auto entries = expand_study(small_study(), false);
+  ASSERT_EQ(entries.size(), 2u);
+
+  // The reference: an unsharded run's results tree.
+  write_study_results(run_study("small", "", entries, {}),
+                      (root_ / "fresh").string());
+
+  // Two cell shards share one checkpoint directory; cell i belongs to shard
+  // i % N, and a foreign cell is skipped outright (no jobs, no files).
+  RunOptions options;
+  options.checkpoint.directory = (root_ / "ck").string();
+  for (std::uint32_t k = 0; k < 2; ++k) {
+    const StudyResult shard = run_study("small", "", entries, options, {},
+                                        support::ShardSpec{k, 2});
+    EXPECT_FALSE(shard.complete());  // the foreign cell is missing
+    ASSERT_EQ(shard.entries.size(), 2u);
+    for (std::size_t i = 0; i < shard.entries.size(); ++i) {
+      EXPECT_EQ(shard.entries[i].cell_owner, i % 2);
+      EXPECT_EQ(shard.entries[i].skipped, i % 2 != k);
+      // Skipped cells still carry provenance for GC keep-sets.
+      EXPECT_EQ(shard.entries[i].result.sweep_fingerprints,
+                sweep_fingerprints(entries[i].spec));
+    }
+    EXPECT_EQ(shard.outcome.jobs_total, 2u);  // one owned cell = 2 gamma jobs
+
+    // The manifest records the assignment.
+    write_study_results(shard, (root_ / ("shard" + std::to_string(k))).string());
+    std::ifstream in(root_ / ("shard" + std::to_string(k)) / "manifest.json");
+    std::ostringstream os;
+    os << in.rdbuf();
+    EXPECT_NE(os.str().find("\"cell_shard\": \"" + std::to_string(k) + "/2\""),
+              std::string::npos);
+    EXPECT_NE(os.str().find("\"cell_owner\": 1"), std::string::npos);
+    // A skipped cell writes no directory.
+    EXPECT_FALSE(fs::exists(root_ / ("shard" + std::to_string(k)) /
+                            entries[k == 0 ? 1 : 0].dir));
+  }
+
+  // A merge pass without a cell shard loads everything from the shared
+  // checkpoint directory and writes a tree bitwise-identical to the fresh
+  // unsharded run.
+  const StudyResult merged = run_study("small", "", entries, options);
+  EXPECT_TRUE(merged.complete());
+  EXPECT_EQ(merged.outcome.loaded, 4u);
+  EXPECT_EQ(merged.outcome.computed, 0u);
+  write_study_results(merged, (root_ / "merged").string());
+  EXPECT_EQ(snapshot(root_ / "fresh"), snapshot(root_ / "merged"));
+}
+
+TEST_F(StudyRunTest, UnshardedManifestCarriesNoCellShardFields) {
+  const auto entries = expand_study(small_study(), false);
+  write_study_results(run_study("small", "", entries, {}),
+                      (root_ / "out").string());
+  std::ifstream in(root_ / "out" / "manifest.json");
+  std::ostringstream os;
+  os << in.rdbuf();
+  EXPECT_EQ(os.str().find("cell_shard"), std::string::npos);
+  EXPECT_EQ(os.str().find("cell_owner"), std::string::npos);
+  EXPECT_EQ(os.str().find("skipped"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace ethsm::api

@@ -1,0 +1,68 @@
+// The event queue's determinism contract: strict (time, seq) ordering with
+// stable FIFO behaviour at equal timestamps -- the property the network
+// simulator's first-seen races rest on.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/event_queue.h"
+
+namespace ethsm::net {
+namespace {
+
+TEST(NetEventQueue, PopsInTimeOrder) {
+  EventQueue<int> q;
+  q.push(3.0, 30);
+  q.push(1.0, 10);
+  q.push(2.0, 20);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.pop().payload, 10);
+  EXPECT_EQ(q.pop().payload, 20);
+  EXPECT_EQ(q.pop().payload, 30);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(NetEventQueue, EqualTimesPopInScheduleOrder) {
+  EventQueue<int> q;
+  for (int i = 0; i < 100; ++i) q.push(5.0, i);
+  q.push(1.0, -1);
+  EXPECT_EQ(q.pop().payload, -1);
+  for (int i = 0; i < 100; ++i) {
+    const auto entry = q.pop();
+    EXPECT_EQ(entry.payload, i);
+    EXPECT_EQ(entry.seq, static_cast<std::uint64_t>(i));
+  }
+}
+
+TEST(NetEventQueue, InterleavedEqualAndDistinctTimesStaySorted) {
+  EventQueue<int> q;
+  q.push(2.0, 0);
+  q.push(1.0, 1);
+  q.push(2.0, 2);
+  q.push(1.0, 3);
+  q.push(0.5, 4);
+  std::vector<int> order;
+  while (!q.empty()) order.push_back(q.pop().payload);
+  EXPECT_EQ(order, (std::vector<int>{4, 1, 3, 0, 2}));
+}
+
+TEST(NetEventQueue, ResetKeepsCountingPushedEventsFromZero) {
+  EventQueue<int> q;
+  q.push(1.0, 1);
+  q.push(2.0, 2);
+  EXPECT_EQ(q.pushed(), 2u);
+  q.reset();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pushed(), 0u);
+  q.push(1.0, 7);
+  EXPECT_EQ(q.top().seq, 0u);
+}
+
+TEST(NetEventQueue, PopOnEmptyThrows) {
+  EventQueue<int> q;
+  EXPECT_THROW(q.pop(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ethsm::net
