@@ -42,7 +42,7 @@ constexpr const char* kUsage =
     "  ethsm run --all | --study FILE     (writes a results tree + manifest)\n"
     "            [--quick] [--set key=value ...] [--out DIR]\n"
     "            [--checkpoint-dir DIR | --resume] [--shard k/N]\n"
-    "            [--cell-shard k/N] [--max-new-jobs N]\n"
+    "            [--cell-shard k/N] [--max-new-jobs N] [--retry N]\n"
     "  ethsm expand <study file> | --all [--quick] [--set key=value ...]\n"
     "  ethsm checkpoint-stats <dir> [--prune [--dry-run]]\n"
     "                               [--keep-study FILE ...]\n"
@@ -148,6 +148,7 @@ struct RunArgs {
   std::string out_file;  ///< file for single runs, directory for studies
   support::SweepCheckpoint checkpoint;
   support::ShardSpec cell_shard;  ///< whole-cell round-robin (study runs)
+  int retry = 0;  ///< --retry N: extra attempts per failing study cell
 };
 
 RunArgs parse_run_args(int argc, char** argv, int first) {
@@ -202,6 +203,14 @@ RunArgs parse_run_args(int argc, char** argv, int first) {
         usage_fail("malformed --max-new-jobs (want a non-negative integer)");
       }
       args.checkpoint.max_new_jobs = static_cast<std::size_t>(value);
+    } else if (arg == "--retry") {
+      const char* text = next("--retry");
+      char* end = nullptr;
+      const long value = std::strtol(text, &end, 10);
+      if (*text == '\0' || *end != '\0' || value < 0 || value > 100) {
+        usage_fail("malformed --retry (want an integer in [0, 100])");
+      }
+      args.retry = static_cast<int>(value);
     } else if (!arg.empty() && arg.front() == '-') {
       usage_fail("unknown argument " + std::string(arg));
     } else if (args.request.preset.empty() &&
@@ -233,6 +242,10 @@ RunArgs parse_run_args(int argc, char** argv, int first) {
   if (!args.cell_shard.is_whole_sweep() && !args.request.is_study()) {
     usage_fail("--cell-shard applies to study runs (--study FILE or --all); "
                "use --shard k/N to stripe a single spec's jobs");
+  }
+  if (args.retry > 0 && !args.request.is_study()) {
+    usage_fail("--retry applies to study runs (--study FILE or --all): a "
+               "single run's failure already exits with the error");
   }
   if (!args.cell_shard.is_whole_sweep() && args.checkpoint.directory.empty()) {
     usage_fail("--cell-shard requires --checkpoint-dir (the merge pass "
@@ -302,12 +315,17 @@ int cmd_run_study(const RunArgs& args) {
 
   RunOptions options;
   options.checkpoint = args.checkpoint;
+  StudyFailurePolicy failure;
+  failure.retries = args.retry;
   const StudyResult study = run_study(
       expansion.name, expansion.title, expansion.entries, options,
       [&](std::size_t index, std::size_t total, const StudyEntryResult& e) {
         std::cout << "[" << index << "/" << total << "] " << e.name << ": ";
         if (e.skipped) {
           std::cout << "skipped (cell of shard " << e.cell_owner << ")";
+        } else if (e.failed) {
+          std::cout << "FAILED after " << e.attempts << " attempt"
+                    << (e.attempts == 1 ? "" : "s") << ": " << e.error;
         } else if (e.result.complete()) {
           std::cout << "complete";
         } else {
@@ -317,7 +335,7 @@ int cmd_run_study(const RunArgs& args) {
         }
         std::cout << "\n" << std::flush;
       },
-      args.cell_shard);
+      args.cell_shard, failure);
 
   write_study_results(study, out_root);
 
@@ -336,10 +354,27 @@ int cmd_run_study(const RunArgs& args) {
   }
   std::size_t written = 0;
   for (const StudyEntryResult& e : study.entries) {
-    if (!e.skipped) ++written;
+    if (!e.skipped && !e.failed) ++written;
   }
   std::cout << "Results under " << out_root << " (" << written
             << " spec directories + manifest.json)\n";
+
+  if (study.any_failed()) {
+    // Fail-soft summary: the siblings' artefacts are on disk and the
+    // manifest records every failure; the nonzero exit makes CI notice.
+    support::TextTable failures({"cell", "attempts", "error"});
+    for (const StudyEntryResult& e : study.entries) {
+      if (!e.failed) continue;
+      failures.add_row({e.name, std::to_string(e.attempts), e.error});
+    }
+    std::cout << "\nFailed cells (status=failed in manifest.json; siblings "
+                 "completed"
+              << (args.retry > 0
+                      ? "):\n"
+                      : "; re-run with --retry N for transient errors):\n");
+    failures.print(std::cout);
+    return 1;
+  }
   return 0;
 }
 

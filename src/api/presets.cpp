@@ -139,6 +139,29 @@ ExperimentSpec net_gamma_spec(bool quick) {
   return spec;
 }
 
+ExperimentSpec net_faults_spec(bool quick) {
+  ExperimentSpec spec;
+  spec.kind = ExperimentKind::net;
+  spec.title =
+      "Network faults: endogenous gamma, stale rate and attacker revenue "
+      "under message loss + node churn (clean-network baseline columns)";
+  spec.gamma = 0.5;
+  spec.scenario = 1;
+  spec.net_nodes = 12;
+  // Positive latency so drops/churn have real races to perturb (0 ms would
+  // collapse to the rushing-attacker limit regardless of faults).
+  spec.net_latency = "fixed:140";
+  spec.net_fault_drop = 0.05;
+  // Mean uptime 5 block intervals, mean downtime 1: nodes flap hard enough
+  // that re-sync-after-restart is exercised constantly.
+  spec.net_fault_churn = "70000:14000";
+  spec.sim_runs = quick ? 2 : 4;
+  spec.sim_blocks = quick ? 6'000 : 30'000;
+  spec.sim_seed = 0x9e7ca57ULL;
+  if (quick) spec.alphas = {0.15, 0.30, 0.45};
+  return spec;
+}
+
 ExperimentSpec delay_network_spec(bool quick) {
   ExperimentSpec spec;
   spec.kind = ExperimentKind::delay;
@@ -177,6 +200,8 @@ const std::vector<Preset>& presets() {
        &delay_network_spec, "delay_network.csv"},
       {"net_gamma", "Endogenous gamma measured on a P2P topology (src/net)",
        &net_gamma_spec, "net_gamma.csv"},
+      {"net_faults", "Endogenous gamma under message loss and node churn",
+       &net_faults_spec, "net_faults.csv"},
   };
   return kPresets;
 }

@@ -177,6 +177,15 @@ sim::DelaySimConfig delay_sim_config(const ExperimentSpec& spec,
   return config;
 }
 
+net::FaultSpec net_fault_spec(const ExperimentSpec& spec) {
+  net::FaultSpec faults;
+  faults.drop = spec.net_fault_drop;
+  faults.churn = net::parse_churn_spec(spec.net_fault_churn);
+  faults.partition = net::parse_partition_spec(spec.net_fault_partition);
+  faults.eclipse = net::parse_eclipse_spec(spec.net_fault_eclipse);
+  return faults;
+}
+
 net::NetSimConfig net_sim_config(const ExperimentSpec& spec, double alpha) {
   net::NetSimConfig config;
   config.alpha = alpha;
@@ -184,6 +193,7 @@ net::NetSimConfig net_sim_config(const ExperimentSpec& spec, double alpha) {
   config.topology = net::parse_topology_spec(spec.net_topology);
   config.latency = net::parse_latency_spec(spec.net_latency);
   config.relay = net::relay_mode_from_string(spec.net_relay);
+  config.faults = net_fault_spec(spec);
   config.num_blocks = spec.sim_blocks;
   config.seed = spec.sim_seed;
   config.rewards = parse_reward_spec(spec.rewards);
@@ -654,11 +664,24 @@ void run_net(const ExperimentSpec& spec, const RunOptions& options,
   const sim::Scenario scenario = scenario_of(spec);
   const auto rewards_config = parse_reward_spec(spec.rewards);
 
+  // With faults enabled every alpha also runs a fault-free baseline (same
+  // seed, same topology), so the table can show what the faults changed; the
+  // two sweeps carry distinct fingerprints and share the checkpoint safely.
+  const bool faulted = net_fault_spec(spec).any();
   support::SweepOutcome outcome;
   std::vector<net::NetMultiRunSummary> summaries;
+  std::vector<net::NetMultiRunSummary> clean;
   for (double alpha : alphas) {
     summaries.push_back(net::run_net_many(net_sim_config(spec, alpha), runs,
                                           options.checkpoint, &outcome));
+  }
+  if (faulted) {
+    for (double alpha : alphas) {
+      net::NetSimConfig config = net_sim_config(spec, alpha);
+      config.faults = net::FaultSpec{};
+      clean.push_back(
+          net::run_net_many(config, runs, options.checkpoint, &outcome));
+    }
   }
   result.outcome = outcome;
   if (!outcome.complete()) return;
@@ -666,11 +689,12 @@ void run_net(const ExperimentSpec& spec, const RunOptions& options,
   // Headline: the measured-gamma curve against the Markov model evaluated
   // both at the measured gamma (does the aggregate theory predict the
   // network?) and at the spec's fixed gamma (what assuming gamma would get
-  // wrong).
+  // wrong). Under faults, the clean-network baseline columns show the drift.
   ResultTable table;
   table.title = "Endogenous gamma on " + spec.net_topology + " / " +
                 spec.net_latency + " (" + std::to_string(spec.net_nodes) +
-                " honest nodes, relay=" + spec.net_relay + ")";
+                " honest nodes, relay=" + spec.net_relay +
+                (faulted ? ", faults on" : "") + ")";
   table.columns = {Column::make_numeric("alpha", 3),
                    Column::make_numeric("gamma (net)"),
                    Column::make_numeric("gamma +-95%"),
@@ -680,11 +704,18 @@ void run_net(const ExperimentSpec& spec, const RunOptions& options,
                    Column::make_numeric("Uh (net)"),
                    Column::make_numeric("uncle rate"),
                    Column::make_numeric("stale rate")};
+  if (faulted) {
+    table.columns.push_back(Column::make_numeric("gamma (clean)"));
+    table.columns.push_back(Column::make_numeric("Us (clean)"));
+  }
   double gamma_min = 1.0;
   double gamma_max = 0.0;
   std::uint64_t races = 0;
   std::uint64_t natural_forks = 0;
   std::uint64_t resyncs = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t mining_lost = 0;
+  std::uint64_t downtimes = 0;
   for (std::size_t i = 0; i < alphas.size(); ++i) {
     const net::NetMultiRunSummary& s = summaries[i];
     const double gamma_net = s.gamma.mean();
@@ -704,11 +735,19 @@ void run_net(const ExperimentSpec& spec, const RunOptions& options,
     table.columns[c++].numbers.push_back(s.honest_revenue(scenario).mean());
     table.columns[c++].numbers.push_back(s.uncle_rate.mean());
     table.columns[c++].numbers.push_back(s.stale_rate.mean());
+    if (faulted) {
+      table.columns[c++].numbers.push_back(clean[i].gamma.mean());
+      table.columns[c++].numbers.push_back(
+          clean[i].pool_revenue(scenario).mean());
+    }
     gamma_min = std::min(gamma_min, gamma_net);
     gamma_max = std::max(gamma_max, gamma_net);
     races += s.race_samples;
     natural_forks += s.natural_forks;
     resyncs += s.resyncs;
+    dropped += s.faults_messages_dropped;
+    mining_lost += s.faults_mining_lost;
+    downtimes += s.faults_downtime_events;
   }
   result.tables.push_back(std::move(table));
 
@@ -752,6 +791,14 @@ void run_net(const ExperimentSpec& spec, const RunOptions& options,
                << " honest latency fork(s) invisible to Algorithm 1, "
                << resyncs << " resync(s) after untracked overtakes.";
     result.notes.push_back(robustness.str());
+  }
+  if (faulted) {
+    std::ostringstream faults_note;
+    faults_note << "Fault injection: " << dropped << " message(s) dropped, "
+                << mining_lost << " honest mining event(s) lost to downtime, "
+                << downtimes << " crash(es); clean-network baseline in the "
+                << "gamma/Us (clean) columns.";
+    result.notes.push_back(faults_note.str());
   }
 }
 
@@ -841,8 +888,16 @@ std::vector<std::uint64_t> sweep_fingerprints(const ExperimentSpec& spec) {
       break;
     case ExperimentKind::net:
       for (double alpha : resolved_alphas(spec)) {
-        fps.push_back(net::run_net_many_fingerprint(net_sim_config(spec, alpha),
-                                                    simulation_runs(spec)));
+        net::NetSimConfig config = net_sim_config(spec, alpha);
+        fps.push_back(
+            net::run_net_many_fingerprint(config, simulation_runs(spec)));
+        if (config.faults.any()) {
+          // Faulted runs also sweep a clean baseline (run_net); keep its
+          // records alive across checkpoint GC.
+          config.faults = net::FaultSpec{};
+          fps.push_back(
+              net::run_net_many_fingerprint(config, simulation_runs(spec)));
+        }
       }
       break;
     case ExperimentKind::reward_design:

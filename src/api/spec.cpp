@@ -297,6 +297,29 @@ ExperimentSpec spec_from_entries(const SpecEntries& entries) {
       } catch (const std::invalid_argument& e) {
         fail("spec key 'net.relay': " + std::string(e.what()));
       }
+    } else if (key == "net.faults.drop") {
+      spec.net_fault_drop = parse_double(key, value);
+    } else if (key == "net.faults.churn") {
+      spec.net_fault_churn = std::string(trim(value));
+      try {
+        (void)net::parse_churn_spec(spec.net_fault_churn);
+      } catch (const std::invalid_argument& e) {
+        fail("spec key 'net.faults.churn': " + std::string(e.what()));
+      }
+    } else if (key == "net.faults.partition") {
+      spec.net_fault_partition = std::string(trim(value));
+      try {
+        (void)net::parse_partition_spec(spec.net_fault_partition);
+      } catch (const std::invalid_argument& e) {
+        fail("spec key 'net.faults.partition': " + std::string(e.what()));
+      }
+    } else if (key == "net.faults.eclipse") {
+      spec.net_fault_eclipse = std::string(trim(value));
+      try {
+        (void)net::parse_eclipse_spec(spec.net_fault_eclipse);
+      } catch (const std::invalid_argument& e) {
+        fail("spec key 'net.faults.eclipse': " + std::string(e.what()));
+      }
     } else if (key == "epoch_blocks") {
       spec.epoch_blocks = parse_u64(key, value);
     } else if (key == "epochs") {
@@ -332,6 +355,17 @@ ExperimentSpec spec_from_entries(const SpecEntries& entries) {
   if (spec.epoch_blocks == 0) fail("epoch_blocks must be >= 1");
   if (spec.net_nodes < 1 || spec.net_nodes > 512) {
     fail("net.nodes must lie in [1, 512]");
+  }
+  if (spec.net_fault_drop < 0.0 || spec.net_fault_drop >= 1.0) {
+    fail("net.faults.drop must lie in [0, 1)");
+  }
+  {
+    const net::EclipseSpec eclipse =
+        net::parse_eclipse_spec(spec.net_fault_eclipse);
+    if (eclipse.enabled() &&
+        eclipse.victim > static_cast<std::uint32_t>(spec.net_nodes)) {
+      fail("net.faults.eclipse victim exceeds net.nodes");
+    }
   }
   return spec;
 }
@@ -403,6 +437,18 @@ std::string print_spec(const ExperimentSpec& spec) {
     put("net.latency", spec.net_latency);
   }
   if (spec.net_relay != defaults.net_relay) put("net.relay", spec.net_relay);
+  if (spec.net_fault_drop != defaults.net_fault_drop) {
+    put("net.faults.drop", print_double(spec.net_fault_drop));
+  }
+  if (spec.net_fault_churn != defaults.net_fault_churn) {
+    put("net.faults.churn", spec.net_fault_churn);
+  }
+  if (spec.net_fault_partition != defaults.net_fault_partition) {
+    put("net.faults.partition", spec.net_fault_partition);
+  }
+  if (spec.net_fault_eclipse != defaults.net_fault_eclipse) {
+    put("net.faults.eclipse", spec.net_fault_eclipse);
+  }
   if (spec.epoch_blocks != defaults.epoch_blocks) {
     put("epoch_blocks", std::to_string(spec.epoch_blocks));
   }

@@ -121,6 +121,12 @@ struct ExperimentSpec {
   std::string net_latency = "fixed:0";    ///< fixed:ms|uniform:lo:hi|exp:mean
   std::string net_relay = "push";         ///< push|announce relay forwarding
 
+  // Seeded fault injection on the P2P network (grammars in net/faults.h).
+  double net_fault_drop = 0.0;              ///< per-message loss prob [0, 1)
+  std::string net_fault_churn = "off";      ///< off|<mean_up_ms>:<mean_down_ms>
+  std::string net_fault_partition = "off";  ///< off|<start>:<heal>[:<cut>]
+  std::string net_fault_eclipse = "off";    ///< off|<victim>:<delay>[:<drop>]
+
   // Retargeting model.
   std::uint64_t epoch_blocks = 500;
   int epochs = 60;

@@ -13,6 +13,7 @@
 #include "api/presets.h"
 #include "api/render.h"
 #include "support/json.h"
+#include "support/retry.h"
 
 namespace ethsm::api {
 
@@ -303,7 +304,8 @@ std::vector<StudyEntry> paper_study_entries(bool quick) {
 StudyResult run_study(std::string name, std::string title,
                       const std::vector<StudyEntry>& entries,
                       const RunOptions& options, const StudyProgress& progress,
-                      support::ShardSpec cell_shard) {
+                      support::ShardSpec cell_shard,
+                      const StudyFailurePolicy& failure) {
   StudyResult study;
   study.name = std::move(name);
   study.title = std::move(title);
@@ -334,13 +336,37 @@ StudyResult run_study(std::string name, std::string title,
     } else {
       RunOptions entry_options;
       entry_options.checkpoint = remaining;
-      ExperimentResult result = run(entry.spec, entry_options);
-      if (remaining.max_new_jobs != static_cast<std::size_t>(-1)) {
-        remaining.max_new_jobs -=
-            std::min(result.outcome.computed, remaining.max_new_jobs);
+      support::RetryPolicy policy;
+      policy.attempts = std::max(failure.retries, 0) + 1;
+      policy.initial_backoff_ms = failure.initial_backoff_ms;
+      policy.sleeper = failure.sleeper;
+      try {
+        ExperimentResult result = support::retry(policy, [&] {
+          ++entry_result.attempts;
+          return run(entry.spec, entry_options);
+        });
+        if (remaining.max_new_jobs != static_cast<std::size_t>(-1)) {
+          remaining.max_new_jobs -=
+              std::min(result.outcome.computed, remaining.max_new_jobs);
+        }
+        study.outcome.merge(result.outcome);
+        entry_result.result = std::move(result);
+      } catch (const std::exception& e) {
+        // Fail-soft: one bad cell must not discard its siblings' work. The
+        // failure (and its error text) lands in the manifest; the CLI turns
+        // any_failed() into a nonzero exit after the study finishes.
+        entry_result.failed = true;
+        entry_result.error = e.what();
+        entry_result.result.spec = entry.spec;
+        try {
+          entry_result.result.spec_fingerprint = spec_fingerprint(entry.spec);
+          entry_result.result.sweep_fingerprints =
+              sweep_fingerprints(entry.spec);
+        } catch (const std::exception&) {
+          // A spec broken enough to fail fingerprinting still gets its
+          // failure recorded -- just without provenance hashes.
+        }
       }
-      study.outcome.merge(result.outcome);
-      entry_result.result = std::move(result);
       study.entries.push_back(std::move(entry_result));
     }
     if (progress) {
@@ -391,7 +417,12 @@ void write_study_results(const StudyResult& study,
   for (std::size_t i = 0; i < study.entries.size(); ++i) {
     const StudyEntryResult& entry = study.entries[i];
     std::vector<std::string> files;
-    if (!entry.skipped) {
+    if (entry.failed) {
+      // A failed cell writes no artefacts; an earlier successful run may have
+      // left a directory here, and it must not survive to contradict the
+      // manifest's status=failed record.
+      fs::remove_all(fs::path(out_root) / entry.dir, ec);
+    } else if (!entry.skipped) {
       const fs::path dir = fs::path(out_root) / entry.dir;
       fs::create_directories(dir, ec);
       if (ec) {
@@ -432,7 +463,16 @@ void write_study_results(const StudyResult& study,
              << "\",\n     \"spec_fingerprint\": \""
              << hex64(entry.result.spec_fingerprint)
              << "\", \"complete\": "
-             << (entry.result.complete() && !entry.skipped ? "true" : "false");
+             << (entry.result.complete() && !entry.skipped && !entry.failed
+                     ? "true"
+                     : "false");
+    manifest << ", \"status\": \""
+             << (entry.failed ? "failed" : entry.skipped ? "skipped" : "ok")
+             << '"';
+    if (entry.failed) {
+      manifest << ",\n     \"error\": \"" << json_escape(entry.error)
+               << "\", \"attempts\": " << entry.attempts;
+    }
     if (!study.cell_shard.is_whole_sweep()) {
       manifest << ", \"cell_owner\": " << entry.cell_owner
                << ", \"skipped\": " << (entry.skipped ? "true" : "false");

@@ -115,6 +115,22 @@ struct StudyEntryResult {
   /// skipped entry carries its spec/sweep fingerprints but no tables.
   std::uint32_t cell_owner = 0;
   bool skipped = false;
+  /// Fail-soft: run(spec) threw on every attempt. The error lands in the
+  /// manifest (`"status": "failed"`), the siblings still complete, and the
+  /// CLI exits nonzero with a summary table.
+  bool failed = false;
+  std::string error;  ///< what() of the last attempt's exception
+  int attempts = 0;   ///< run(spec) invocations (retries included)
+};
+
+/// How run_study treats a cell whose run(spec) throws: every failure is
+/// caught and recorded; `retries` extra attempts (exponential backoff via
+/// support::retry) happen before the cell is declared failed.
+struct StudyFailurePolicy {
+  int retries = 0;
+  double initial_backoff_ms = 250.0;
+  /// Test seam forwarded to support::RetryPolicy::sleeper.
+  std::function<void(double)> sleeper;
 };
 
 struct StudyResult {
@@ -130,9 +146,15 @@ struct StudyResult {
 
   [[nodiscard]] bool complete() const noexcept {
     for (const StudyEntryResult& e : entries) {
-      if (e.skipped || !e.result.complete()) return false;
+      if (e.skipped || e.failed || !e.result.complete()) return false;
     }
     return true;
+  }
+  [[nodiscard]] bool any_failed() const noexcept {
+    for (const StudyEntryResult& e : entries) {
+      if (e.failed) return true;
+    }
+    return false;
   }
 };
 
@@ -153,7 +175,8 @@ using StudyProgress =
                                     const std::vector<StudyEntry>& entries,
                                     const RunOptions& options = {},
                                     const StudyProgress& progress = {},
-                                    support::ShardSpec cell_shard = {});
+                                    support::ShardSpec cell_shard = {},
+                                    const StudyFailurePolicy& failure = {});
 
 /// Renders the results tree under `out_root` (created with parents):
 /// per-entry {table.txt, data.csv (complete tables only), data.json} and a

@@ -20,7 +20,7 @@ namespace {
 using chain::BlockId;
 using chain::kNoBlock;
 
-enum class MsgType : std::uint8_t { mine, announce, request, deliver };
+enum class MsgType : std::uint8_t { mine, announce, request, deliver, churn };
 
 struct Msg {
   MsgType type = MsgType::mine;
@@ -55,7 +55,9 @@ class Engine {
         stride_(config.num_blocks + 2),
         known_(static_cast<std::size_t>(n_) * stride_, 0),
         requested_(static_cast<std::size_t>(n_) * stride_, 0),
-        policy_(tree_, attacker_policy_config()) {
+        policy_(tree_, attacker_policy_config()),
+        faults_(config.faults, n_, config.topology.kind, config.seed),
+        down_(n_, 0) {
     views_.resize(n_);
     pending_.resize(n_);
     for (std::uint32_t u = 0; u < n_; ++u) {
@@ -65,6 +67,13 @@ class Engine {
   }
 
   NetSimResult run() {
+    if (faults_.churn_enabled()) {
+      // The attacker (node 0) never churns; Algorithm 1 assumes the pool is
+      // always online. Each honest node's first crash is one mean uptime out.
+      for (std::uint32_t v = 1; v < n_; ++v) {
+        queue_.push(faults_.sample_uptime_ms(v), churn_msg(v));
+      }
+    }
     schedule_next_mine(0.0);
     while (!queue_.empty() && blocks_mined_ < config_.num_blocks) {
       const auto entry = queue_.pop();
@@ -119,13 +128,26 @@ class Engine {
   /// rushing-attacker limit -- positive latencies go through the heap.
   void send(MsgType type, std::uint32_t src, std::uint32_t dst, BlockId b,
             double now, const LatencySpec& latency) {
+    double extra_delay = 0.0;
+    if (faults_.active()) {
+      // Fault draws come from the per-node fault streams, never from rng_:
+      // a null FaultSpec leaves the engine's stream untouched bit for bit.
+      const bool honest_block =
+          b != kNoBlock && tree_.block(b).miner == chain::MinerClass::honest;
+      if (faults_.severed(src, dst, now) || faults_.drops_message(src) ||
+          faults_.eclipse_cuts(dst, honest_block)) {
+        ++result_.faults_messages_dropped;
+        return;
+      }
+      extra_delay = faults_.eclipse_extra_delay(dst, honest_block);
+    }
     Msg msg;
     msg.type = type;
     msg.src = src;
     msg.dst = dst;
     msg.block = b;
     msg.link = &latency;
-    const double delay = latency.sample(rng_);
+    const double delay = latency.sample(rng_) + extra_delay;
     if (delay <= 0.0) {
       handle(msg, now);
     } else {
@@ -135,6 +157,12 @@ class Engine {
 
   void handle(const Msg& msg, double now) {
     ++result_.events_processed;
+    if (msg.type != MsgType::mine && msg.type != MsgType::churn &&
+        down_[msg.dst] != 0) {
+      // A crashed node queues nothing; in-flight traffic toward it is lost.
+      ++result_.faults_messages_dropped;
+      return;
+    }
     switch (msg.type) {
       case MsgType::mine:
         on_mine(now);
@@ -147,6 +175,9 @@ class Engine {
         break;
       case MsgType::deliver:
         on_deliver(msg, now);
+        break;
+      case MsgType::churn:
+        on_churn(msg.dst, now);
         break;
     }
   }
@@ -163,14 +194,18 @@ class Engine {
 
   void on_announce(const Msg& msg, double now) {
     const std::size_t slot = flat(msg.dst, msg.block);
-    if (known_[slot] != 0 || requested_[slot] != 0) return;  // duplicate
+    if (known_[slot] != 0) return;  // duplicate
+    // With faults active an earlier request (or its deliver) may have been
+    // lost, so every fresh announce retries; delivers dedup on known_.
+    if (!faults_.active() && requested_[slot] != 0) return;
     requested_[slot] = 1;
     send(MsgType::request, msg.dst, msg.src, msg.block, now, *msg.link);
   }
 
   void on_request(const Msg& msg, double now) {
-    // Only nodes that announced a block are asked for it, and nodes announce
-    // only blocks they hold.
+    // Only nodes that announced or relayed a block (or its child) are asked
+    // for it, and both imply they hold it; knowledge is monotonic even
+    // across crashes, so this holds under faults too.
     ETHSM_ASSERT(knows(msg.dst, msg.block));
     send(MsgType::deliver, msg.dst, msg.src, msg.block, now, *msg.link);
   }
@@ -179,14 +214,47 @@ class Engine {
     const std::uint32_t u = msg.dst;
     const BlockId b = msg.block;
     if (knows(u, b)) return;  // duplicate push
-    for (const auto& [pb, ps] : pending_[u]) {
-      if (pb == b) return;  // already waiting on its parent
-    }
-    if (!knows(u, tree_.parent(b))) {
+    const BlockId parent = tree_.parent(b);
+    if (!knows(u, parent)) {
+      // Fault-mode re-sync: a restarted (or message-starved) node may have
+      // missed the parent entirely, so fetch it from the relayer -- which
+      // admitted b and therefore holds its whole ancestry. Walking the
+      // chain backwards one hop per deliver rebuilds the gap. On a clean
+      // network gossip always re-sends parents, so no fetch is needed.
+      if (faults_.active()) {
+        send(MsgType::request, u, msg.src, parent, now, *msg.link);
+      }
+      for (const auto& [pb, ps] : pending_[u]) {
+        if (pb == b) return;  // already waiting on its parent
+      }
       pending_[u].emplace_back(b, msg.src);  // admit once the parent arrives
       return;
     }
     admit(u, b, now, msg.src);
+  }
+
+  // --------------------------------------------------------------- faults --
+
+  [[nodiscard]] static Msg churn_msg(std::uint32_t node) {
+    Msg msg;
+    msg.type = MsgType::churn;
+    msg.dst = node;
+    return msg;
+  }
+
+  /// Self-rescheduling crash/restart toggle for one honest node.
+  void on_churn(std::uint32_t v, double now) {
+    if (down_[v] == 0) {
+      down_[v] = 1;
+      ++result_.faults_downtime_events;
+      // The crash loses the orphan buffer; known_ survives (the node keeps
+      // its chain database) and gaps re-sync via the parent-fetch path.
+      pending_[v].clear();
+      queue_.push(now + faults_.sample_downtime_ms(v), churn_msg(v));
+    } else {
+      down_[v] = 0;
+      queue_.push(now + faults_.sample_uptime_ms(v), churn_msg(v));
+    }
   }
 
   /// A block became part of node u's view: update the first-seen tip set,
@@ -244,9 +312,14 @@ class Engine {
     if (rng_.bernoulli(config_.alpha)) {
       mine_pool(now);
     } else {
-      mine_honest(
-          1 + static_cast<std::uint32_t>(rng_.uniform_below(config_.honest_nodes)),
-          now);
+      const auto v = 1 + static_cast<std::uint32_t>(
+                             rng_.uniform_below(config_.honest_nodes));
+      if (down_[v] != 0) {
+        // A crashed miner's hash power is simply lost for this interval.
+        ++result_.faults_mining_lost;
+        return;
+      }
+      mine_honest(v, now);
     }
   }
 
@@ -384,6 +457,8 @@ class Engine {
   std::vector<std::uint8_t> known_;      ///< node-major [node][block]
   std::vector<std::uint8_t> requested_;  ///< announce-handshake dedup
   miner::SelfishPolicy policy_;
+  FaultModel faults_;
+  std::vector<std::uint8_t> down_;  ///< crashed-by-churn flag per node
 
   EventQueue<Msg> queue_;
   std::vector<NodeView> views_;
@@ -420,6 +495,7 @@ void NetSimConfig::validate() const {
     ETHSM_EXPECTS(honest_nodes >= 2,
                   "two_clusters needs at least 2 honest nodes");
   }
+  faults.validate(honest_nodes);
 }
 
 NetSimResult run_net_simulation(const NetSimConfig& config) {
@@ -460,12 +536,17 @@ void NetMultiRunSummary::absorb(const NetSimResult& r) {
   natural_forks += r.natural_forks;
   resyncs += r.resyncs;
   events_processed += r.events_processed;
+  faults_messages_dropped += r.faults_messages_dropped;
+  faults_mining_lost += r.faults_mining_lost;
+  faults_downtime_events += r.faults_downtime_events;
   ++runs;
 }
 
 std::uint64_t run_net_many_fingerprint(const NetSimConfig& config, int runs) {
   support::Fingerprint fp;
-  fp.mix("run_net_many/v1");
+  // v2: the fault spec joined the digest, so checkpoint directories can
+  // never mix faulted and clean records (v1 files are ignored wholesale).
+  fp.mix("run_net_many/v2");
   fp.mix(config.alpha);
   fp.mix(config.honest_nodes);
   fp.mix(static_cast<int>(config.topology.kind));
@@ -474,6 +555,16 @@ std::uint64_t run_net_many_fingerprint(const NetSimConfig& config, int runs) {
   fp.mix(config.latency.a);
   fp.mix(config.latency.b);
   fp.mix(static_cast<int>(config.relay));
+  fp.mix(config.faults.drop);
+  fp.mix(config.faults.churn.mean_up_ms);
+  fp.mix(config.faults.churn.mean_down_ms);
+  fp.mix(config.faults.partition.enabled);
+  fp.mix(config.faults.partition.start_ms);
+  fp.mix(config.faults.partition.heal_ms);
+  fp.mix(static_cast<int>(config.faults.partition.cut));
+  fp.mix(config.faults.eclipse.victim);
+  fp.mix(config.faults.eclipse.delay_ms);
+  fp.mix(config.faults.eclipse.drop);
   fp.mix(config.num_blocks);
   fp.mix(config.seed);
   fp.mix(rewards::sweep_fingerprint(config.rewards));
@@ -523,6 +614,9 @@ void CheckpointCodec<net::NetSimResult>::encode(
   w.u64(result.natural_forks);
   w.u64(result.resyncs);
   w.u64(result.events_processed);
+  w.u64(result.faults_messages_dropped);
+  w.u64(result.faults_mining_lost);
+  w.u64(result.faults_downtime_events);
   w.u64_vec(result.distance_blocks);
   w.u64_vec(result.distance_stale);
 }
@@ -535,6 +629,9 @@ net::NetSimResult CheckpointCodec<net::NetSimResult>::decode(ByteReader& r) {
   result.natural_forks = r.u64();
   result.resyncs = r.u64();
   result.events_processed = r.u64();
+  result.faults_messages_dropped = r.u64();
+  result.faults_mining_lost = r.u64();
+  result.faults_downtime_events = r.u64();
   result.distance_blocks = r.u64_vec();
   result.distance_stale = r.u64_vec();
   return result;

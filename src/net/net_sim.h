@@ -52,6 +52,7 @@
 #include <string_view>
 #include <vector>
 
+#include "net/faults.h"
 #include "net/topology.h"
 #include "rewards/reward_schedule.h"
 #include "sim/sim_result.h"
@@ -81,6 +82,9 @@ struct NetSimConfig {
   TopologySpec topology;   ///< default: complete graph
   LatencySpec latency;     ///< default: fixed:0 (the rushing-attacker limit)
   RelayMode relay = RelayMode::push;
+  /// Seeded fault injection (net/faults.h); all off by default, in which
+  /// case the engine is bitwise-identical to the fault-free simulator.
+  FaultSpec faults;
   std::uint64_t num_blocks = 100'000;
   std::uint64_t seed = 0x9e7ca57ULL;
   rewards::RewardConfig rewards = rewards::RewardConfig::ethereum_byzantium();
@@ -103,6 +107,11 @@ struct NetSimResult {
 
   /// Discrete events processed (queue pops + inline zero-latency dispatches).
   std::uint64_t events_processed = 0;
+
+  // Fault-injection accounting (net/faults.h); all zero on a clean network.
+  std::uint64_t faults_messages_dropped = 0;  ///< drop + partition + eclipse
+  std::uint64_t faults_mining_lost = 0;       ///< honest mines on down nodes
+  std::uint64_t faults_downtime_events = 0;   ///< churn crash transitions
 
   /// Honest blocks mined / gone stale (incl. referenced uncles), bucketed by
   /// the mining node's hop distance from the attacker.
@@ -137,6 +146,9 @@ struct NetMultiRunSummary {
   std::uint64_t natural_forks = 0;
   std::uint64_t resyncs = 0;
   std::uint64_t events_processed = 0;
+  std::uint64_t faults_messages_dropped = 0;
+  std::uint64_t faults_mining_lost = 0;
+  std::uint64_t faults_downtime_events = 0;
   int runs = 0;
 
   void absorb(const NetSimResult& r);

@@ -12,6 +12,7 @@
 
 #include "support/check.h"
 #include "support/json.h"
+#include "support/retry.h"
 
 namespace ethsm::support {
 
@@ -219,11 +220,15 @@ CheckpointStore::CheckpointStore(std::string directory,
   // Missing parents are created, not reported: `--checkpoint-dir a/b/c` on a
   // fresh machine should just work. Only a real filesystem refusal (EROFS,
   // EACCES, a file in the way) fails, and then with the OS reason, not a
-  // bare stream-open error further down.
+  // bare stream-open error further down. Creation retries with backoff so a
+  // transient hiccup (network filesystems) does not abort a long sweep.
+  retry(RetryPolicy{}, [this] {
+    std::error_code create_ec;
+    fs::create_directories(directory_, create_ec);
+    ETHSM_EXPECTS(!create_ec, "cannot create checkpoint directory " +
+                                  directory_ + ": " + create_ec.message());
+  });
   std::error_code ec;
-  fs::create_directories(directory_, ec);
-  ETHSM_EXPECTS(!ec, "cannot create checkpoint directory " + directory_ +
-                         ": " + ec.message());
 
   // Merge every readable matching file: this process's earlier attempts plus
   // any other shard's output dropped into the same directory.
@@ -321,9 +326,14 @@ void CheckpointStore::append(std::uint64_t job,
 
   const std::string path = own_file_path();
   const bool fresh = !fs::exists(path) || fs::file_size(path) == 0;
-  std::ofstream out(path, std::ios::binary | std::ios::app);
-  ETHSM_ENSURES(static_cast<bool>(out),
-                "cannot open checkpoint file " + path);
+  // Opening retries with backoff (transient EMFILE/network-storage blips);
+  // a record lost to a genuinely dead disk still surfaces the final error.
+  std::ofstream out = retry(RetryPolicy{}, [&path] {
+    std::ofstream stream(path, std::ios::binary | std::ios::app);
+    ETHSM_ENSURES(static_cast<bool>(stream),
+                  "cannot open checkpoint file " + path);
+    return stream;
+  });
   if (fresh) {
     write_raw(out, kMagic);
     write_raw(out, kFormatVersion);

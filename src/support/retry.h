@@ -1,0 +1,76 @@
+// Bounded retry with exponential backoff (ROADMAP: graceful degradation).
+//
+// Transient failures -- a checkpoint directory on flaky network storage, a
+// cell of a million-cell study hitting an I/O hiccup -- should cost a retry,
+// not the night's work. retry() runs a callable up to `attempts` times,
+// sleeping an exponentially growing backoff between failures, and rethrows
+// the last exception when the budget is exhausted. Deterministic failures
+// (a spec that always throws) simply fail `attempts` times quickly; the
+// caller decides how many attempts a context deserves (the study runner's
+// default is one, i.e. no retry, until `--retry N` asks for more).
+//
+// The sleeper is injectable so tests assert the backoff schedule without
+// actually sleeping.
+
+#ifndef ETHSM_SUPPORT_RETRY_H
+#define ETHSM_SUPPORT_RETRY_H
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <functional>
+#include <thread>
+
+namespace ethsm::support {
+
+struct RetryPolicy {
+  /// Total attempts (first try included); values < 1 behave like 1.
+  int attempts = 3;
+  double initial_backoff_ms = 50.0;
+  double growth = 2.0;
+  double max_backoff_ms = 5'000.0;
+  /// Test seam: when set, called with the backoff instead of sleeping.
+  std::function<void(double)> sleeper;
+
+  /// Backoff before retry number `failures` (1-based): initial * growth^(k-1),
+  /// capped at max_backoff_ms.
+  [[nodiscard]] double backoff_ms(int failures) const {
+    double backoff = initial_backoff_ms;
+    for (int i = 1; i < failures; ++i) {
+      backoff = std::min(backoff * growth, max_backoff_ms);
+    }
+    return std::min(backoff, max_backoff_ms);
+  }
+
+  void wait(int failures) const {
+    const double ms = backoff_ms(failures);
+    if (sleeper) {
+      sleeper(ms);
+      return;
+    }
+    if (ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(ms));
+    }
+  }
+};
+
+/// Runs f(), retrying on any std::exception with the policy's backoff; the
+/// final failure's exception propagates unchanged.
+template <typename F>
+auto retry(const RetryPolicy& policy, F&& f) -> decltype(f()) {
+  const int attempts = std::max(policy.attempts, 1);
+  int failures = 0;
+  while (true) {
+    try {
+      return f();
+    } catch (const std::exception&) {
+      if (++failures >= attempts) throw;
+      policy.wait(failures);
+    }
+  }
+}
+
+}  // namespace ethsm::support
+
+#endif  // ETHSM_SUPPORT_RETRY_H

@@ -80,6 +80,46 @@ TEST(SpecCodec, NetKeysRoundTripAndValidateEagerly) {
   EXPECT_THROW((void)parse_spec("kind = net\nnet.nodes = 100000\n"), SpecError);
 }
 
+TEST(SpecCodec, NetFaultKeysRoundTripAndValidateEagerly) {
+  const char* text =
+      "kind = net\n"
+      "net.nodes = 12\n"
+      "net.faults.drop = 0.05\n"
+      "net.faults.churn = 70000:14000\n"
+      "net.faults.partition = 1000:9000:bridge\n"
+      "net.faults.eclipse = 3:5000:0.25\n";
+  const ExperimentSpec spec = parse_spec(text);
+  EXPECT_EQ(spec.net_fault_drop, 0.05);
+  EXPECT_EQ(spec.net_fault_churn, "70000:14000");
+  EXPECT_EQ(spec.net_fault_partition, "1000:9000:bridge");
+  EXPECT_EQ(spec.net_fault_eclipse, "3:5000:0.25");
+  EXPECT_EQ(parse_spec(print_spec(spec)), spec);
+
+  // A default (all-off) spec prints no net.faults.* lines at all.
+  ExperimentSpec clean;
+  clean.kind = ExperimentKind::net;
+  EXPECT_EQ(print_spec(clean).find("net.faults"), std::string::npos);
+
+  // Malformed fault grammars die at parse time with the key named.
+  EXPECT_THROW((void)parse_spec("kind = net\nnet.faults.drop = 1\n"),
+               SpecError);
+  EXPECT_THROW((void)parse_spec("kind = net\nnet.faults.drop = -0.1\n"),
+               SpecError);
+  EXPECT_THROW((void)parse_spec("kind = net\nnet.faults.churn = 70000\n"),
+               SpecError);
+  EXPECT_THROW((void)parse_spec("kind = net\nnet.faults.partition = 9:1\n"),
+               SpecError);
+  EXPECT_THROW((void)parse_spec("kind = net\nnet.faults.eclipse = 0:5\n"),
+               SpecError);
+  // Cross-field semantics: the eclipse victim must be one of the honest
+  // nodes the run will actually have.
+  EXPECT_THROW((void)parse_spec("kind = net\nnet.nodes = 4\n"
+                                "net.faults.eclipse = 5:100\n"),
+               SpecError);
+  EXPECT_NO_THROW((void)parse_spec("kind = net\nnet.nodes = 4\n"
+                                   "net.faults.eclipse = 4:100\n"));
+}
+
 TEST(SpecCodec, StudyGrammarInASpecSuggestsTheStudySubcommands) {
   // `ethsm run --spec FILE` on a study file used to die with a bare
   // unknown-key error; the message must now point at run --study / expand.

@@ -268,6 +268,65 @@ TEST(CheckpointStoreTest, CorruptSizeFieldDoesNotDriveAllocation) {
   EXPECT_EQ(reloaded.size(), 0u);
 }
 
+TEST(CheckpointStoreTest, EveryByteTruncationRecoversTheValidPrefix) {
+  // Fuzz the kill-mid-write story exhaustively: whatever byte a crash stops
+  // the file at, reloading must recover exactly the records that were fully
+  // flushed before that byte -- never a partial record, never fewer than the
+  // intact prefix, and never a crash or overallocation.
+  const std::string dir = temp_dir("fuzz_truncate");
+  std::string file;
+  {
+    CheckpointStore store(dir, 0x999ULL);
+    // Varying payload sizes put record boundaries at irregular offsets.
+    store.append(0, payload_of(0, 1.0));
+    ByteWriter big;
+    big.f64_vec({1.0, 2.0, 3.0, 4.0, 5.0});
+    store.append(1, big.bytes());
+    ByteWriter tiny;
+    tiny.u32(7);
+    store.append(2, tiny.bytes());
+    store.append(3, payload_of(3, 4.0));
+    file = store.own_file_path();
+  }
+
+  // Full file bytes + the offset at which each record ends (header is 24
+  // bytes; each record is 16 bytes of header + payload + 8 checksum bytes).
+  std::string full;
+  {
+    std::ifstream in(file, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    full = os.str();
+  }
+  const std::size_t payload_sizes[] = {16, 48, 4, 16};  // vec = u64 len + data
+  std::vector<std::size_t> record_end;
+  std::size_t cursor = 24;
+  for (std::size_t size : payload_sizes) {
+    cursor += 16 + size + 8;
+    record_end.push_back(cursor);
+  }
+  ASSERT_EQ(cursor, full.size());
+
+  for (std::size_t cut = 0; cut <= full.size(); ++cut) {
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    std::ofstream(file, std::ios::binary).write(full.data(),
+                                                static_cast<std::streamsize>(cut));
+
+    std::size_t expected = 0;
+    while (expected < record_end.size() && record_end[expected] <= cut) {
+      ++expected;
+    }
+    CheckpointStore store(dir, 0x999ULL);
+    ASSERT_EQ(store.size(), expected) << "truncated at byte " << cut;
+    for (std::size_t job = 0; job < expected; ++job) {
+      EXPECT_TRUE(store.contains(job)) << "truncated at byte " << cut;
+      EXPECT_EQ(store.payload(job).size(), payload_sizes[job])
+          << "truncated at byte " << cut;
+    }
+  }
+}
+
 TEST(CheckpointStoreTest, GarbageFilesAreIgnored) {
   const std::string dir = temp_dir("garbage");
   fs::create_directories(dir);

@@ -1,0 +1,103 @@
+// support::retry contract tests (`ctest -L faults`): attempt counting, the
+// exponential backoff schedule (asserted through the injectable sleeper, so
+// nothing actually sleeps), the cap, and exception propagation once the
+// attempt budget is exhausted.
+
+#include "support/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace ethsm::support {
+namespace {
+
+TEST(RetryPolicy, BackoffGrowsExponentiallyAndCaps) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 50.0;
+  policy.growth = 2.0;
+  policy.max_backoff_ms = 300.0;
+  EXPECT_EQ(policy.backoff_ms(1), 50.0);
+  EXPECT_EQ(policy.backoff_ms(2), 100.0);
+  EXPECT_EQ(policy.backoff_ms(3), 200.0);
+  EXPECT_EQ(policy.backoff_ms(4), 300.0);  // capped
+  EXPECT_EQ(policy.backoff_ms(10), 300.0);
+}
+
+TEST(Retry, FirstSuccessNeverSleeps) {
+  RetryPolicy policy;
+  int sleeps = 0;
+  policy.sleeper = [&sleeps](double) { ++sleeps; };
+  int calls = 0;
+  const int result = retry(policy, [&calls] { return ++calls; });
+  EXPECT_EQ(result, 1);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(sleeps, 0);
+}
+
+TEST(Retry, TransientFailureRecoversAfterBackoff) {
+  RetryPolicy policy;
+  policy.attempts = 5;
+  policy.initial_backoff_ms = 10.0;
+  std::vector<double> backoffs;
+  policy.sleeper = [&backoffs](double ms) { backoffs.push_back(ms); };
+
+  int calls = 0;
+  const int result = retry(policy, [&calls] {
+    if (++calls < 3) throw std::runtime_error("transient");
+    return calls;
+  });
+  EXPECT_EQ(result, 3);
+  EXPECT_EQ(calls, 3);
+  // Two failures, two sleeps -- never one after the success.
+  EXPECT_EQ(backoffs, (std::vector<double>{10.0, 20.0}));
+}
+
+TEST(Retry, ExhaustedBudgetRethrowsTheLastException) {
+  RetryPolicy policy;
+  policy.attempts = 3;
+  std::vector<double> backoffs;
+  policy.sleeper = [&backoffs](double ms) { backoffs.push_back(ms); };
+
+  int calls = 0;
+  EXPECT_THROW(retry(policy,
+                     [&calls]() -> int {
+                       ++calls;
+                       throw std::invalid_argument("deterministic");
+                     }),
+               std::invalid_argument);
+  EXPECT_EQ(calls, 3);
+  // Sleeps happen between attempts, not after the final failure.
+  EXPECT_EQ(backoffs.size(), 2u);
+}
+
+TEST(Retry, NonPositiveAttemptsBehaveLikeOne) {
+  RetryPolicy policy;
+  policy.attempts = 0;
+  int sleeps = 0;
+  policy.sleeper = [&sleeps](double) { ++sleeps; };
+  int calls = 0;
+  EXPECT_THROW(retry(policy,
+                     [&calls]() -> int {
+                       ++calls;
+                       throw std::runtime_error("boom");
+                     }),
+               std::runtime_error);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(sleeps, 0);
+}
+
+TEST(Retry, VoidCallablesAreSupported) {
+  RetryPolicy policy;
+  policy.attempts = 2;
+  policy.sleeper = [](double) {};
+  int calls = 0;
+  retry(policy, [&calls] {
+    if (++calls < 2) throw std::runtime_error("once");
+  });
+  EXPECT_EQ(calls, 2);
+}
+
+}  // namespace
+}  // namespace ethsm::support
