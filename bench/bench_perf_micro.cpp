@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <new>
 #include <string>
@@ -156,6 +157,59 @@ void BM_StationarySolveEdgeList(benchmark::State& state) {
 BENCHMARK(BM_StationarySolveEdgeList)->Arg(40)->Arg(80)->Arg(160)
     ->Unit(benchmark::kMillisecond);
 
+/// The two explicit inner solvers side by side on the default-parameter chain
+/// (BM_StationarySolve above runs `automatic`, which resolves to
+/// Gauss-Seidel here). The GS/power real-time ratio is the raw-speed claim
+/// the perf gate (tools/perf_gate.py) keeps honest.
+void BM_StationarySolveGS(benchmark::State& state) {
+  const int max_lead = static_cast<int>(state.range(0));
+  const ethsm::markov::StateSpace space(max_lead);
+  const ethsm::markov::TransitionModel model(space, {0.4, 0.5});
+  ethsm::markov::StationaryOptions options;
+  options.method = ethsm::markov::SolveMethod::gauss_seidel;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ethsm::markov::solve_stationary(model, options));
+  }
+  state.SetLabel(std::to_string(space.size()) + " states");
+}
+BENCHMARK(BM_StationarySolveGS)->Arg(40)->Arg(80)->Arg(160)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_StationarySolvePower(benchmark::State& state) {
+  const int max_lead = static_cast<int>(state.range(0));
+  const ethsm::markov::StateSpace space(max_lead);
+  const ethsm::markov::TransitionModel model(space, {0.4, 0.5});
+  ethsm::markov::StationaryOptions options;
+  options.method = ethsm::markov::SolveMethod::power;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ethsm::markov::solve_stationary(model, options));
+  }
+  state.SetLabel(std::to_string(space.size()) + " states");
+}
+BENCHMARK(BM_StationarySolvePower)->Arg(40)->Arg(80)->Arg(160)
+    ->Unit(benchmark::kMillisecond);
+
+/// The corner the Gauss-Seidel solver exists for: large alpha, small gamma,
+/// deep truncation (recommended_max_lead grows to 600 there). Arg 0 = GS,
+/// Arg 1 = power; the iteration gap is ~an order of magnitude.
+void BM_StationarySolveDeepCorner(benchmark::State& state) {
+  const ethsm::markov::StateSpace space(300);
+  const ethsm::markov::TransitionModel model(space, {0.45, 0.05});
+  ethsm::markov::StationaryOptions options;
+  options.method = state.range(0) == 0 ? ethsm::markov::SolveMethod::gauss_seidel
+                                       : ethsm::markov::SolveMethod::power;
+  int iterations = 0;
+  for (auto _ : state) {
+    const auto pi = ethsm::markov::solve_stationary(model, options);
+    iterations = pi.iterations();
+    benchmark::DoNotOptimize(pi.values().data());
+  }
+  state.counters["sweeps"] = benchmark::Counter(static_cast<double>(iterations));
+  state.SetLabel(state.range(0) == 0 ? "gauss_seidel" : "power");
+}
+BENCHMARK(BM_StationarySolveDeepCorner)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
 /// Sweep-scale multi-run throughput vs thread count. The work per iteration
 /// is fixed (8 runs x 20k blocks), so the ratio of the Arg(1) to Arg(N)
 /// real-time numbers is the parallel speedup recorded in BENCH_perf.json.
@@ -189,6 +243,69 @@ void BM_RevenueBreakdown(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RevenueBreakdown)->Unit(benchmark::kMillisecond);
+
+/// The kind-batched revenue kernel in isolation: model and stationary vector
+/// prebuilt, so the loop times exactly the weighted-sum integration that
+/// runs once per sweep cell. items/s counts CSR entries consumed.
+void BM_ComputeRevenueKernel(benchmark::State& state) {
+  const auto config = ethsm::rewards::RewardConfig::ethereum_byzantium();
+  const ethsm::markov::StateSpace space(static_cast<int>(state.range(0)));
+  const ethsm::markov::TransitionModel model(space, {0.35, 0.5});
+  const auto pi = ethsm::markov::solve_stationary(model);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ethsm::analysis::compute_revenue(pi, model, config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(model.transitions().size()));
+  state.SetLabel(std::to_string(model.transitions().size()) + " entries");
+}
+BENCHMARK(BM_ComputeRevenueKernel)->Arg(80)->Arg(300);
+
+/// Baseline half of the kernel comparison: the pre-batching per-entry
+/// switch + Kahan loop (the frozen copy in tests/kernel/reference_engines.cpp
+/// is the correctness reference; this inline copy is the perf baseline, same
+/// precedent as solve_stationary_edge_list above).
+void BM_ComputeRevenueKernelReference(benchmark::State& state) {
+  const auto config = ethsm::rewards::RewardConfig::ethereum_byzantium();
+  const ethsm::markov::StateSpace space(static_cast<int>(state.range(0)));
+  const ethsm::markov::TransitionModel model(space, {0.35, 0.5});
+  const auto pi = ethsm::markov::solve_stationary(model);
+  for (auto _ : state) {
+    ethsm::support::KahanSum pool_static, pool_uncle, pool_nephew;
+    ethsm::support::KahanSum honest_static, honest_uncle, honest_nephew;
+    ethsm::support::KahanSum regular_rate, uncle_rate;
+    const int n = model.space().size();
+    const auto& row = model.row_offsets();
+    const auto& rate = model.rates();
+    const auto& kind = model.kinds();
+    for (int s = 0; s < n; ++s) {
+      const double mass = pi[s];
+      if (mass == 0.0) continue;
+      const ethsm::markov::State& st = model.space().state_at(s);
+      for (std::uint32_t k = row[static_cast<std::size_t>(s)];
+           k < row[static_cast<std::size_t>(s) + 1]; ++k) {
+        const double weight = mass * rate[k];
+        if (weight == 0.0) continue;
+        const ethsm::analysis::RewardFlow flow = ethsm::analysis::expected_rewards(
+            st, kind[k], model.params(), config);
+        pool_static.add(weight * flow.pool_static);
+        pool_uncle.add(weight * flow.pool_uncle);
+        pool_nephew.add(weight * flow.pool_nephew);
+        honest_static.add(weight * flow.honest_static);
+        honest_uncle.add(weight * flow.honest_uncle);
+        honest_nephew.add(weight * flow.honest_nephew);
+        regular_rate.add(weight * flow.regular_probability);
+        uncle_rate.add(weight * flow.referenced_uncle_probability);
+      }
+    }
+    benchmark::DoNotOptimize(pool_static.value() + honest_static.value() +
+                             pool_uncle.value() + uncle_rate.value());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(model.transitions().size()));
+  state.SetLabel(std::to_string(model.transitions().size()) + " entries");
+}
+BENCHMARK(BM_ComputeRevenueKernelReference)->Arg(80)->Arg(300);
 
 void BM_ThresholdSearch(benchmark::State& state) {
   const auto config = ethsm::rewards::RewardConfig::ethereum_byzantium();

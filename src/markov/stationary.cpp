@@ -10,11 +10,13 @@ namespace ethsm::markov {
 
 StationaryDistribution::StationaryDistribution(const StateSpace& space,
                                                std::vector<double> pi,
-                                               int iterations, double residual)
+                                               int iterations, double residual,
+                                               SolveMethod method)
     : space_(&space),
       pi_(std::move(pi)),
       iterations_(iterations),
-      residual_(residual) {
+      residual_(residual),
+      method_(method) {
   ETHSM_EXPECTS(static_cast<int>(pi_.size()) == space.size(),
                 "distribution/space size mismatch");
 }
@@ -57,13 +59,18 @@ double StationaryDistribution::balance_residual(
   return worst;
 }
 
-StationaryDistribution solve_stationary(const TransitionModel& model,
-                                        const StationaryOptions& options) {
-  const auto n = static_cast<std::size_t>(model.space().size());
-  const auto& row = model.row_offsets();
-  const auto& col = model.columns();
-  const auto& rate = model.rates();
+namespace {
 
+/// Starting vector: the (renormalised) warm start when one is supplied and
+/// sized correctly, otherwise a method-appropriate cold start. Power
+/// iteration keeps its historical point mass at (0,0); Gauss-Seidel needs
+/// support everywhere -- sweeping the point mass updates state 0 first,
+/// before any inflow exists, and annihilates the vector -- so it cold-starts
+/// from the uniform distribution. The fixed point does not depend on the
+/// choice.
+std::vector<double> initial_vector(std::size_t n,
+                                   const StationaryOptions& options,
+                                   SolveMethod method) {
   std::vector<double> pi;
   if (options.initial != nullptr && options.initial->size() == n) {
     // Warm start (e.g. the previous bisection step's solution). Renormalise
@@ -73,14 +80,26 @@ StationaryDistribution solve_stationary(const TransitionModel& model,
     for (double p : pi) mass += p;
     if (mass > 0.0) {
       for (double& p : pi) p /= mass;
-    } else {
-      std::fill(pi.begin(), pi.end(), 0.0);
-      pi[0] = 1.0;
+      return pi;
     }
+  }
+  if (method == SolveMethod::gauss_seidel) {
+    pi.assign(n, 1.0 / static_cast<double>(n));
   } else {
     pi.assign(n, 0.0);
     pi[0] = 1.0;  // start at (0,0); any distribution works
   }
+  return pi;
+}
+
+/// Power iteration pi <- pi * P, in place on `pi`. Consumes sweeps from
+/// `iter` up to `max_iterations` total; returns the final L1 change.
+double power_iterate(const TransitionModel& model, std::vector<double>& pi,
+                     double tolerance, int max_iterations, int& iter) {
+  const auto n = pi.size();
+  const auto& row = model.row_offsets();
+  const auto& col = model.columns();
+  const auto& rate = model.rates();
 
   // The ping-pong buffer survives across calls per thread; after the swap
   // dance it keeps whichever allocation is not returned to the caller.
@@ -88,8 +107,7 @@ StationaryDistribution solve_stationary(const TransitionModel& model,
   next.assign(n, 0.0);
 
   double diff = 1.0;
-  int iter = 0;
-  for (; iter < options.max_iterations && diff > options.tolerance; ++iter) {
+  for (; iter < max_iterations && diff > tolerance; ++iter) {
     std::fill(next.begin(), next.end(), 0.0);
     for (std::size_t s = 0; s < n; ++s) {
       const double ps = pi[s];
@@ -104,6 +122,134 @@ StationaryDistribution solve_stationary(const TransitionModel& model,
     }
     pi.swap(next);
   }
+  return diff;
+}
+
+/// One Gauss-Seidel pass over the transposed structure: each state is
+/// replaced by its inflow under the *current* vector (already-updated states
+/// contribute their new values), with self-loops divided out. Mass is not
+/// conserved mid-sweep, so the caller renormalises after each pass.
+void gauss_seidel_sweep(const TransitionModel::Incoming& in,
+                        std::vector<double>& pi) {
+  const std::size_t n = pi.size();
+  const auto* offsets = in.col_offsets.data();
+  const auto* source = in.source.data();
+  const auto* rate = in.rate.data();
+  const auto* inv_diag = in.inv_diag.data();
+  for (std::size_t c = 0; c < n; ++c) {
+    double inflow = 0.0;
+    for (std::uint32_t e = offsets[c]; e < offsets[c + 1]; ++e) {
+      inflow += pi[static_cast<std::size_t>(source[e])] * rate[e];
+    }
+    pi[c] = inflow * inv_diag[c];
+  }
+}
+
+/// Gauss-Seidel driver. Consumes sweeps from `iter` up to `sweep_limit`;
+/// returns the final L1 change. Sets `stalled` when the sweeps produced a
+/// non-finite or vanished vector, or exhausted `sweep_limit` short of the
+/// tolerance; in both cases `pi` holds the last finite iterate as a warm
+/// start for the power-iteration fallback. The per-sweep L1 change is NOT a
+/// useful stall signal here: the iteration matrix is non-normal, and in the
+/// large-alpha / small-gamma corner the change grows slowly for a couple of
+/// hundred sweeps before collapsing -- so the only triggers are numerical
+/// failure and the sweep budget.
+///
+/// Convergence bookkeeping (copy, mass scan, normalise, L1 diff) costs about
+/// as much as the sweep itself, so it runs on a doubling schedule -- after
+/// sweeps 1, 3, 7, then every 8 -- instead of every sweep. A warm start at
+/// the fixed point still exits after a single sweep; a cold start overshoots
+/// convergence by at most 7 sweeps, which is noise against the hundreds it
+/// needs. Between checkpoints the vector is unnormalised; the fixed point is
+/// scale-invariant and a handful of sweeps cannot overflow.
+double gauss_seidel_iterate(const TransitionModel& model,
+                            std::vector<double>& pi, double tolerance,
+                            int sweep_limit, int& iter, bool& stalled) {
+  const auto& in = model.incoming();
+  const std::size_t n = pi.size();
+  thread_local std::vector<double> previous;
+  previous = pi;
+
+  stalled = false;
+  double diff = 1.0;
+  int interval = 1;
+  while (iter < sweep_limit && diff > tolerance) {
+    const int block = std::min(interval, sweep_limit - iter);
+    for (int b = 0; b < block; ++b) gauss_seidel_sweep(in, pi);
+    iter += block;
+    interval = std::min(interval * 2, 8);
+
+    double mass = 0.0;
+    for (double p : pi) mass += p;
+    if (!std::isfinite(mass) || mass <= 0.0) {
+      // Numerical failure; hand the last finite iterate to the fallback.
+      pi = previous;
+      stalled = true;
+      return diff;
+    }
+    const double inv_mass = 1.0 / mass;
+    double change = 0.0;
+    for (std::size_t s = 0; s < n; ++s) {
+      pi[s] *= inv_mass;
+      change += std::fabs(pi[s] - previous[s]);
+    }
+    diff = change;
+    previous = pi;
+  }
+  stalled = diff > tolerance;
+  return diff;
+}
+
+}  // namespace
+
+StationaryDistribution solve_stationary(const TransitionModel& model,
+                                        const StationaryOptions& options) {
+  const auto n = static_cast<std::size_t>(model.space().size());
+
+  // A state whose self-loop carries (almost) the whole row makes the
+  // Gauss-Seidel update 1/(1 - self_rate) degenerate -- alpha = 0 puts the
+  // entire unit rate on the (0,0) self-loop -- so such chains go straight to
+  // power iteration.
+  bool degenerate_diagonal = false;
+  for (double s : model.incoming().self_rate) {
+    if (s >= 1.0 - 1e-12) {
+      degenerate_diagonal = true;
+      break;
+    }
+  }
+
+  SolveMethod method = options.method;
+  if (method == SolveMethod::automatic) {
+    method = degenerate_diagonal ? SolveMethod::power : SolveMethod::gauss_seidel;
+  }
+  std::vector<double> pi = initial_vector(n, options, method);
+
+  int iter = 0;
+  double diff = 1.0;
+  SolveMethod produced = method;
+  if (method == SolveMethod::gauss_seidel) {
+    // Under `automatic`, Gauss-Seidel gets half the iteration budget and the
+    // fallback the remainder, so a hypothetical non-converging corner still
+    // finishes within max_iterations total. Observed Gauss-Seidel sweep
+    // counts stay three orders of magnitude below the default budget.
+    const int sweep_limit = options.method == SolveMethod::automatic
+                                ? options.max_iterations / 2
+                                : options.max_iterations;
+    bool stalled = false;
+    diff = gauss_seidel_iterate(model, pi, options.tolerance, sweep_limit,
+                                iter, stalled);
+    if (stalled && options.method == SolveMethod::automatic) {
+      // Adaptive fallback: finish with power iteration, warm-started from
+      // the last finite Gauss-Seidel iterate; the combined sweep count is
+      // reported in iterations().
+      diff = power_iterate(model, pi, options.tolerance,
+                           options.max_iterations, iter);
+      produced = SolveMethod::power;
+    }
+  } else {
+    diff = power_iterate(model, pi, options.tolerance, options.max_iterations,
+                         iter);
+  }
 
   // Renormalise: the row sums are exactly 1 by construction, but a long
   // iteration accumulates rounding at the 1e-16 level.
@@ -112,7 +258,8 @@ StationaryDistribution solve_stationary(const TransitionModel& model,
   ETHSM_ENSURES(total.value() > 0.0, "stationary mass vanished");
   for (double& p : pi) p /= total.value();
 
-  return StationaryDistribution(model.space(), std::move(pi), iter, diff);
+  return StationaryDistribution(model.space(), std::move(pi), iter, diff,
+                                produced);
 }
 
 }  // namespace ethsm::markov

@@ -31,11 +31,17 @@ const char* to_string(TransitionKind k) noexcept {
   return "unknown";
 }
 
+static_assert(static_cast<int>(TransitionKind::honest_fork_extend) + 1 ==
+                  kNumTransitionKinds,
+              "kNumTransitionKinds out of sync with the TransitionKind enum");
+
 TransitionModel::TransitionModel(const StateSpace& space,
                                  const MiningParams& params)
     : space_(space), params_(params) {
   params_.validate();
   build();
+  build_kind_batched();
+  build_incoming();
 }
 
 void TransitionModel::build() {
@@ -114,6 +120,94 @@ void TransitionModel::build() {
   }
   row_offsets_[static_cast<std::size_t>(n)] =
       static_cast<std::uint32_t>(columns_.size());
+}
+
+void TransitionModel::build_kind_batched() {
+  const std::size_t nnz = rates_.size();
+  // Counting sort by kind, stable within a kind (original CSR entry order),
+  // so the permutation -- and every sum the reward kernel takes over it --
+  // is deterministic.
+  std::array<std::uint32_t, kNumTransitionKinds> counts{};
+  for (TransitionKind k : kinds_) {
+    ++counts[static_cast<std::size_t>(static_cast<std::uint8_t>(k))];
+  }
+  batched_.offsets[0] = 0;
+  for (int k = 0; k < kNumTransitionKinds; ++k) {
+    batched_.offsets[static_cast<std::size_t>(k) + 1] =
+        batched_.offsets[static_cast<std::size_t>(k)] +
+        counts[static_cast<std::size_t>(k)];
+  }
+  batched_.source.resize(nnz);
+  batched_.rate.resize(nnz);
+  batched_.distance.resize(nnz);
+
+  std::array<std::uint32_t, kNumTransitionKinds> cursor{};
+  for (int k = 0; k < kNumTransitionKinds; ++k) {
+    cursor[static_cast<std::size_t>(k)] =
+        batched_.offsets[static_cast<std::size_t>(k)];
+  }
+  const int n = space_.size();
+  for (int s = 0; s < n; ++s) {
+    const State st = space_.state_at(s);
+    for (std::uint32_t e = row_offsets_[static_cast<std::size_t>(s)];
+         e < row_offsets_[static_cast<std::size_t>(s) + 1]; ++e) {
+      const TransitionKind kind = kinds_[e];
+      const auto slot = cursor[static_cast<std::size_t>(
+          static_cast<std::uint8_t>(kind))]++;
+      batched_.source[slot] = s;
+      batched_.rate[slot] = rates_[e];
+      // The locked-in uncle distance is the only state dependence of the
+      // Appendix-B reward flow: the pool's full lead i for Case 10, the
+      // effective lead i-j for Case 7 (analysis/reward_cases.cpp).
+      int distance = 0;
+      if (kind == TransitionKind::honest_first_fork) {
+        distance = st.ls;
+      } else if (kind == TransitionKind::honest_prefix_reroot) {
+        distance = st.lead();
+      }
+      batched_.distance[slot] = distance;
+    }
+  }
+}
+
+void TransitionModel::build_incoming() {
+  const auto n = static_cast<std::size_t>(space_.size());
+  const std::size_t nnz = rates_.size();
+  incoming_.col_offsets.assign(n + 1, 0);
+  incoming_.self_rate.assign(n, 0.0);
+
+  // Counting sort by target column; self-loops go to self_rate instead of
+  // the entry arrays (Gauss-Seidel divides them out).
+  std::size_t off_diagonal = 0;
+  for (std::size_t e = 0; e < nnz; ++e) {
+    const auto to = static_cast<std::size_t>(columns_[e]);
+    if (static_cast<int>(to) == transitions_[e].from) continue;
+    ++incoming_.col_offsets[to + 1];
+    ++off_diagonal;
+  }
+  for (std::size_t c = 0; c < n; ++c) {
+    incoming_.col_offsets[c + 1] += incoming_.col_offsets[c];
+  }
+  incoming_.source.resize(off_diagonal);
+  incoming_.rate.resize(off_diagonal);
+
+  std::vector<std::uint32_t> cursor(incoming_.col_offsets.begin(),
+                                    incoming_.col_offsets.end() - 1);
+  for (const Transition& t : transitions_) {
+    if (t.from == t.to) {
+      incoming_.self_rate[static_cast<std::size_t>(t.from)] += t.rate;
+      continue;
+    }
+    const auto slot = cursor[static_cast<std::size_t>(t.to)]++;
+    incoming_.source[slot] = t.from;
+    incoming_.rate[slot] = t.rate;
+  }
+
+  incoming_.inv_diag.resize(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    const double d = 1.0 - incoming_.self_rate[c];
+    incoming_.inv_diag[c] = d > 1e-12 ? 1.0 / d : 0.0;
+  }
 }
 
 std::pair<const Transition*, const Transition*> TransitionModel::outgoing(

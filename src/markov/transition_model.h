@@ -5,6 +5,7 @@
 #ifndef ETHSM_MARKOV_TRANSITION_MODEL_H
 #define ETHSM_MARKOV_TRANSITION_MODEL_H
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -40,6 +41,11 @@ enum class TransitionKind : std::uint8_t {
 
 [[nodiscard]] const char* to_string(TransitionKind k) noexcept;
 
+/// Number of TransitionKind enumerators (the kind-batched layout sizes its
+/// offset table with this; a static_assert in transition_model.cpp keeps it
+/// in sync with the enum).
+inline constexpr int kNumTransitionKinds = 12;
+
 struct Transition {
   int from = -1;
   int to = -1;
@@ -59,9 +65,52 @@ struct Transition {
 /// row-contiguously (structure-of-arrays: the rate sweep touches no kind
 /// bytes); the array-of-structs `transitions()` edge list is kept as the
 /// convenient view for the reward analysis and the tests.
+///
+/// Two derived layouts are built alongside the CSR arrays (once per model,
+/// one counting-sort pass each):
+///   * kind_batched(): the CSR entries permuted so all entries of one
+///     TransitionKind are contiguous. The Appendix-B reward flow of a
+///     transition depends on the source state only through the locked-in
+///     uncle distance -- and only for two of the twelve kinds -- so the
+///     reward kernel (analysis::compute_revenue) evaluates one branch-free
+///     weighted-sum loop per kind instead of a per-entry switch.
+///   * incoming(): the transposed (CSC) view, column c owning the entries
+///     that flow *into* state c. The Gauss-Seidel stationary solver sweeps
+///     this layout so each state can be updated in place from its inflows.
 class TransitionModel {
  public:
   TransitionModel(const StateSpace& space, const MiningParams& params);
+
+  /// CSR entries permuted into per-kind contiguous batches. Entry order
+  /// within a batch follows the original CSR order, so the layout is
+  /// deterministic. `distance` is the locked-in uncle reference distance of
+  /// the transition's target block for the two state-dependent kinds
+  /// (honest_first_fork: the pool's lead i; honest_prefix_reroot: the
+  /// effective lead i-j) and 0 for the ten state-independent kinds.
+  struct KindBatched {
+    /// Batch k (TransitionKind underlying value) spans
+    /// [offsets[k], offsets[k+1]) of the arrays below.
+    std::array<std::uint32_t, kNumTransitionKinds + 1> offsets{};
+    std::vector<std::int32_t> source;    ///< source-state index per entry
+    std::vector<double> rate;            ///< transition rate per entry
+    std::vector<std::int32_t> distance;  ///< uncle distance, 0 when constant
+  };
+
+  /// Transposed (CSC) view: column c spans
+  /// [col_offsets[c], col_offsets[c+1]) of the source/rate arrays; self-loop
+  /// entries (truncation boundary, (0,0)) are *excluded* -- their total rate
+  /// per state is in self_rate. Gauss-Seidel consumes this directly:
+  /// pi[c] = (sum of inflows) / (1 - self_rate[c]).
+  struct Incoming {
+    std::vector<std::uint32_t> col_offsets;  ///< size() + 1 offsets
+    std::vector<std::int32_t> source;        ///< source-state index per entry
+    std::vector<double> rate;                ///< transition rate per entry
+    std::vector<double> self_rate;           ///< self-loop rate per state
+    /// 1 / (1 - self_rate) per state, precomputed so the Gauss-Seidel inner
+    /// loop multiplies instead of divides; 0.0 for a degenerate diagonal
+    /// (self_rate ~ 1), which the solver routes to power iteration anyway.
+    std::vector<double> inv_diag;
+  };
 
   [[nodiscard]] const std::vector<Transition>& transitions() const noexcept {
     return transitions_;
@@ -88,11 +137,20 @@ class TransitionModel {
     return kinds_;
   }
 
+  /// The kind-batched permutation (reward kernel input).
+  [[nodiscard]] const KindBatched& kind_batched() const noexcept {
+    return batched_;
+  }
+  /// The transposed CSC view (Gauss-Seidel solver input).
+  [[nodiscard]] const Incoming& incoming() const noexcept { return incoming_; }
+
   [[nodiscard]] const StateSpace& space() const noexcept { return space_; }
   [[nodiscard]] const MiningParams& params() const noexcept { return params_; }
 
  private:
   void build();
+  void build_kind_batched();
+  void build_incoming();
 
   const StateSpace& space_;
   MiningParams params_;
@@ -103,6 +161,9 @@ class TransitionModel {
   std::vector<TransitionKind> kinds_;
   // Edge-list view (same order as the CSR arrays).
   std::vector<Transition> transitions_;
+  // Derived layouts (built once in the constructor).
+  KindBatched batched_;
+  Incoming incoming_;
 };
 
 }  // namespace ethsm::markov

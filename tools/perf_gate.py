@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over google-benchmark JSON files.
+
+Usage: perf_gate.py BASELINE.json CANDIDATE.json [--threshold 0.25]
+
+Compares every benchmark present in BOTH files and fails (exit 1) when any
+of them regressed by more than the threshold (default 25%) in throughput.
+The throughput metric is items_per_second when the benchmark reports it,
+otherwise 1 / real_time -- so "regression" always means "got slower".
+
+Benchmark timings are only comparable on the same runner class, so the gate
+first checks the recorded hardware context (num_cpus, mhz_per_cpu). On a
+mismatch it prints what differed and exits 0: an unknown machine yields no
+signal, and a gate that cries wolf on every runner refresh would just get
+deleted. The committed baseline (BENCH_perf.json) pins the runner class.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def throughput(bench):
+    """Higher-is-better metric for one benchmark entry."""
+    if "items_per_second" in bench:
+        return float(bench["items_per_second"])
+    real = float(bench["real_time"])
+    return 1.0 / real if real > 0.0 else 0.0
+
+
+def hardware_matches(base_ctx, cand_ctx):
+    """Same runner class? Compare the context fields that move timings."""
+    mismatches = []
+    for key in ("num_cpus", "mhz_per_cpu"):
+        b, c = base_ctx.get(key), cand_ctx.get(key)
+        if b != c:
+            mismatches.append(f"{key}: baseline={b} candidate={c}")
+    return mismatches
+
+
+def benchmarks_by_name(doc):
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        # Aggregates (mean/median/stddev) would double-count; plain
+        # iterations are what the committed baseline contains.
+        if bench.get("run_type") == "aggregate":
+            continue
+        out[bench["name"]] = bench
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="maximum tolerated fractional throughput drop")
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+
+    mismatches = hardware_matches(base.get("context", {}),
+                                  cand.get("context", {}))
+    if mismatches:
+        print("perf_gate: hardware context differs from baseline; skipping "
+              "(no signal on an unknown runner class):")
+        for line in mismatches:
+            print(f"  {line}")
+        return 0
+
+    base_benches = benchmarks_by_name(base)
+    cand_benches = benchmarks_by_name(cand)
+    shared = sorted(set(base_benches) & set(cand_benches))
+    if not shared:
+        print("perf_gate: no benchmarks in common; nothing to gate")
+        return 0
+
+    failures = []
+    for name in shared:
+        ref = throughput(base_benches[name])
+        now = throughput(cand_benches[name])
+        if ref <= 0.0:
+            continue
+        drop = (ref - now) / ref
+        status = "FAIL" if drop > args.threshold else "ok"
+        print(f"  {status:4s} {name}: baseline {ref:.4g}, candidate {now:.4g} "
+              f"({-drop:+.1%})")
+        if drop > args.threshold:
+            failures.append(name)
+
+    if failures:
+        print(f"perf_gate: {len(failures)} benchmark(s) regressed more than "
+              f"{args.threshold:.0%}: {', '.join(failures)}")
+        return 1
+    print(f"perf_gate: {len(shared)} benchmark(s) within {args.threshold:.0%} "
+          "of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
