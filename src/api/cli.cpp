@@ -1,6 +1,8 @@
 #include "api/cli.h"
 
+#include <atomic>
 #include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,6 +21,7 @@
 #include "api/runner.h"
 #include "api/spec.h"
 #include "api/study.h"
+#include "serve/server.h"
 #include "support/checkpoint.h"
 #include "support/json.h"
 #include "support/table.h"
@@ -32,7 +35,7 @@ using support::hex64;
 
 constexpr const char* kUsage =
     "usage:\n"
-    "  ethsm list\n"
+    "  ethsm list [--format table|json]\n"
     "  ethsm print <preset> [--quick] [--set key=value ...]\n"
     "  ethsm run <preset> | --spec FILE\n"
     "            [--quick] [--set key=value ...]\n"
@@ -46,14 +49,38 @@ constexpr const char* kUsage =
     "  ethsm expand <study file> | --all [--quick] [--set key=value ...]\n"
     "  ethsm checkpoint-stats <dir> [--prune [--dry-run]]\n"
     "                               [--keep-study FILE ...]\n"
-    "                               [--set key=value ...]\n";
+    "                               [--set key=value ...]\n"
+    "  ethsm serve [--port N] [--host ADDR] [--checkpoint-dir DIR]\n"
+    "              [--workers N] [--cache-entries N]\n"
+    "              [--max-inflight N] [--client-jobs N]\n"
+    "              [--port-file FILE] [--quiet]\n";
 
 [[noreturn]] void usage_fail(const std::string& message) {
   std::fprintf(stderr, "error: %s\n%s", message.c_str(), kUsage);
   std::exit(2);
 }
 
-int cmd_list() {
+int cmd_list(int argc, char** argv, int start) {
+  std::string format = "table";
+  for (int i = start; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--format") {
+      if (i + 1 >= argc) usage_fail("--format needs a value");
+      format = argv[++i];
+    } else {
+      usage_fail("unknown list argument '" + std::string(arg) + "'");
+    }
+  }
+  if (format == "json") {
+    // The same rendering GET /v1/presets serves: spec text + fingerprint per
+    // preset and variant, so scripts can feed `ethsm serve` without parsing
+    // the human table.
+    std::cout << render_presets_json();
+    return 0;
+  }
+  if (format != "table") {
+    usage_fail("unknown list format '" + format + "' (want table or json)");
+  }
   support::TextTable table({"preset", "kind", "description"});
   for (const Preset& preset : presets()) {
     table.add_row({preset.name,
@@ -622,16 +649,121 @@ int cmd_checkpoint_stats(int argc, char** argv, int first) {
   return 0;
 }
 
+// ------------------------------------------------------------------ serve --
+
+/// The running server, published for the signal handlers. request_stop only
+/// stores an atomic flag, so calling it from SIGINT/SIGTERM is safe.
+std::atomic<serve::HttpServer*> g_serve_server{nullptr};
+
+extern "C" void serve_signal_handler(int /*signum*/) {
+  if (serve::HttpServer* server = g_serve_server.load()) {
+    server->request_stop();
+  }
+}
+
+int cmd_serve(int argc, char** argv, int start) {
+  serve::ServiceConfig service_config;
+  service_config.checkpoint_dir = "ethsm-checkpoints";
+  serve::ServerConfig server_config;
+  std::string port_file;
+  bool quiet = false;
+
+  const auto next = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) usage_fail(std::string(flag) + " needs a value");
+    return argv[++i];
+  };
+  const auto next_number = [&](int& i, const char* flag) -> long {
+    char* end = nullptr;
+    errno = 0;
+    const long value = std::strtol(next(i, flag), &end, 10);
+    if (errno != 0 || end == nullptr || *end != '\0' || value < 0) {
+      usage_fail(std::string(flag) + " wants a non-negative integer");
+    }
+    return value;
+  };
+
+  for (int i = start; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--port") {
+      const long port = next_number(i, "--port");
+      if (port > 65535) usage_fail("--port out of range");
+      server_config.port = static_cast<std::uint16_t>(port);
+    } else if (arg == "--host") {
+      server_config.host = next(i, "--host");
+    } else if (arg == "--checkpoint-dir") {
+      service_config.checkpoint_dir = next(i, "--checkpoint-dir");
+    } else if (arg == "--workers") {
+      const long workers = next_number(i, "--workers");
+      if (workers == 0) usage_fail("--workers must be positive");
+      server_config.workers = static_cast<std::size_t>(workers);
+    } else if (arg == "--cache-entries") {
+      service_config.cache_entries =
+          static_cast<std::size_t>(next_number(i, "--cache-entries"));
+    } else if (arg == "--max-inflight") {
+      const long jobs = next_number(i, "--max-inflight");
+      if (jobs == 0) usage_fail("--max-inflight must be positive");
+      service_config.admission.max_jobs_in_flight =
+          static_cast<std::size_t>(jobs);
+    } else if (arg == "--client-jobs") {
+      const long jobs = next_number(i, "--client-jobs");
+      if (jobs == 0) usage_fail("--client-jobs must be positive");
+      service_config.admission.per_client_jobs =
+          static_cast<std::size_t>(jobs);
+    } else if (arg == "--port-file") {
+      port_file = next(i, "--port-file");
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      usage_fail("unknown serve argument '" + std::string(arg) + "'");
+    }
+  }
+
+  serve::ExperimentService service(service_config);
+  serve::HttpServer server(service, server_config);
+
+  // Writing the bound port *after* listen succeeds lets scripts start with
+  // --port 0 and poll the file instead of racing the ephemeral-port choice.
+  if (!port_file.empty()) {
+    std::ofstream out(port_file, std::ios::trunc);
+    out << server.port() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write port file %s\n",
+                   port_file.c_str());
+      return 1;
+    }
+  }
+  if (!quiet) {
+    std::cout << "ethsm serve: listening on " << server_config.host << ":"
+              << server.port() << " (checkpoint dir: "
+              << service_config.checkpoint_dir << ", cache: "
+              << service_config.cache_entries << " entries, workers: "
+              << server_config.workers << ")\n"
+              << std::flush;
+  }
+
+  g_serve_server.store(&server);
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+  server.serve();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  g_serve_server.store(nullptr);
+
+  if (!quiet) std::cout << "ethsm serve: stopped\n";
+  return 0;
+}
+
 int dispatch(int argc, char** argv) {
   if (argc < 2) usage_fail("missing subcommand");
   const std::string_view command = argv[1];
-  if (command == "list") return cmd_list();
+  if (command == "list") return cmd_list(argc, argv, 2);
   if (command == "run") return cmd_run(parse_run_args(argc, argv, 2));
   if (command == "print") return cmd_print(argc, argv, 2);
   if (command == "expand") return cmd_expand(argc, argv, 2);
   if (command == "checkpoint-stats") {
     return cmd_checkpoint_stats(argc, argv, 2);
   }
+  if (command == "serve") return cmd_serve(argc, argv, 2);
   if (command == "--help" || command == "-h" || command == "help") {
     std::cout << kUsage;
     return 0;

@@ -1,6 +1,10 @@
 #include "api/presets.h"
 
+#include <sstream>
+
+#include "api/result.h"
 #include "api/runner.h"
+#include "support/json.h"
 
 namespace ethsm::api {
 
@@ -225,6 +229,33 @@ ExperimentSpec preset_spec(std::string_view name, bool quick) {
                     "' (known: " + known + ")");
   }
   return preset->spec(quick);
+}
+
+std::string render_presets_json() {
+  using support::hex64;
+  using support::json_escape;
+  std::ostringstream os;
+  os << "{\n  \"presets\": [";
+  bool first = true;
+  for (const Preset& preset : presets()) {
+    const ExperimentSpec full = preset.spec(false);
+    const ExperimentSpec quick = preset.spec(true);
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    {\"name\": \"" << json_escape(preset.name) << "\",\n"
+       << "     \"kind\": \"" << to_string(full.kind) << "\",\n"
+       << "     \"description\": \"" << json_escape(preset.description)
+       << "\",\n"
+       << "     \"spec\": \"" << json_escape(print_spec(full)) << "\",\n"
+       << "     \"spec_fingerprint\": \"" << hex64(spec_fingerprint(full))
+       << "\",\n"
+       << "     \"quick_spec\": \"" << json_escape(print_spec(quick))
+       << "\",\n"
+       << "     \"quick_spec_fingerprint\": \""
+       << hex64(spec_fingerprint(quick)) << "\"}";
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
 }
 
 std::vector<ReferencedFingerprint> referenced_fingerprints() {

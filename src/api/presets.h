@@ -42,6 +42,13 @@ struct ReferencedFingerprint {
 /// variants both -- the keep-set of `ethsm checkpoint-stats --prune`.
 [[nodiscard]] std::vector<ReferencedFingerprint> referenced_fingerprints();
 
+/// The preset registry as a JSON document: name, kind, description, and for
+/// both the full and the quick variant the canonical spec text plus its
+/// provenance fingerprint. `ethsm list --format json` and the daemon's
+/// GET /v1/presets serve this same rendering, so scripted clients can
+/// discover specs once and POST them back to /v1/run verbatim.
+[[nodiscard]] std::string render_presets_json();
+
 }  // namespace ethsm::api
 
 #endif  // ETHSM_API_PRESETS_H

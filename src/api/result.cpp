@@ -17,4 +17,12 @@ std::uint64_t spec_fingerprint(const ExperimentSpec& spec) {
   return fp.digest();
 }
 
+ExperimentResult provenance_normalized(const ExperimentResult& result) {
+  ExperimentResult view = result;
+  view.checkpoint_enabled = false;
+  view.outcome.computed = view.outcome.loaded + view.outcome.computed;
+  view.outcome.loaded = 0;
+  return view;
+}
+
 }  // namespace ethsm::api

@@ -92,6 +92,15 @@ struct ExperimentResult {
 /// Fingerprint of a spec's canonical text form (the provenance digest).
 [[nodiscard]] std::uint64_t spec_fingerprint(const ExperimentSpec& spec);
 
+/// Copy of `result` with the loaded-vs-computed job split folded away.
+/// Rendered artefacts must depend only on the merged results, never on how a
+/// particular invocation satisfied the jobs (loaded from checkpoint vs
+/// computed fresh) -- that split is what differs between a resumed run and a
+/// fresh one, and both the study resume test and the serve bitwise-identity
+/// contract assert the rendered bytes match across the two.
+[[nodiscard]] ExperimentResult provenance_normalized(
+    const ExperimentResult& result);
+
 }  // namespace ethsm::api
 
 #endif  // ETHSM_API_RESULT_H

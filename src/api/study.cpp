@@ -128,19 +128,6 @@ std::vector<std::string> manifest_dirs(const fs::path& manifest_path) {
   return dirs;
 }
 
-/// Artefact files must depend only on the merged results, never on how this
-/// particular invocation satisfied the jobs (loaded from checkpoint vs
-/// computed) -- that split is what differs between an interrupted-and-resumed
-/// study and a fresh one, and the resume test asserts the trees are bitwise
-/// identical. Progress provenance stays on stdout (the CLI's job).
-ExperimentResult artefact_view(const ExperimentResult& result) {
-  ExperimentResult view = result;
-  view.checkpoint_enabled = false;
-  view.outcome.computed = view.outcome.loaded + view.outcome.computed;
-  view.outcome.loaded = 0;
-  return view;
-}
-
 }  // namespace
 
 StudySpec parse_study(std::string_view text) {
@@ -430,7 +417,10 @@ void write_study_results(const StudyResult& study,
                                  dir.string() + ": " + ec.message());
       }
 
-      const ExperimentResult view = artefact_view(entry.result);
+      // Artefact files fold the loaded-vs-computed split away (see
+      // provenance_normalized): a resumed study and a fresh one must write
+      // bitwise-identical trees. Progress provenance stays on stdout.
+      const ExperimentResult view = provenance_normalized(entry.result);
       {
         std::ostringstream os;
         render_text(view, os);

@@ -1,0 +1,49 @@
+#include "serve/admission.h"
+
+#include "support/check.h"
+
+namespace ethsm::serve {
+
+AdmissionController::AdmissionController(AdmissionConfig config)
+    : config_(config) {
+  ETHSM_EXPECTS(config_.max_jobs_in_flight > 0,
+                "admission needs at least one global computation slot");
+  ETHSM_EXPECTS(config_.per_client_jobs > 0,
+                "admission needs at least one per-client computation slot");
+}
+
+bool AdmissionController::try_acquire(const std::string& client) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t& mine = per_client_[client];
+  if (total_ >= config_.max_jobs_in_flight ||
+      mine >= config_.per_client_jobs) {
+    if (mine == 0) per_client_.erase(client);
+    ++rejected_;
+    return false;
+  }
+  ++total_;
+  ++mine;
+  return true;
+}
+
+void AdmissionController::release(const std::string& client) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ETHSM_EXPECTS(total_ > 0, "admission release without acquire");
+  --total_;
+  const auto it = per_client_.find(client);
+  ETHSM_EXPECTS(it != per_client_.end() && it->second > 0,
+                "admission release for an unknown client");
+  if (--it->second == 0) per_client_.erase(it);
+}
+
+std::size_t AdmissionController::jobs_in_flight() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+std::uint64_t AdmissionController::rejected() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return rejected_;
+}
+
+}  // namespace ethsm::serve

@@ -1,0 +1,56 @@
+// Admission control for new computations: `--max-new-jobs` generalized from
+// a per-invocation job budget into live per-client budgets on the daemon.
+// Cache hits and dedupe attaches are always served -- admission gates only
+// the requests that would *start* a computation. A client over its
+// concurrent-computation budget, or the process over its global one, gets
+// 429 + Retry-After instead of a queue that grows without bound.
+//
+// Clients are identified by the X-Ethsm-Client header when present, else the
+// peer address (service.cpp). The controller only tracks concurrency, not
+// history: budgets free up the moment a computation finishes, so a patient
+// client retrying after Retry-After always makes progress.
+
+#ifndef ETHSM_SERVE_ADMISSION_H
+#define ETHSM_SERVE_ADMISSION_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace ethsm::serve {
+
+struct AdmissionConfig {
+  /// Computations running at once, process-wide.
+  std::size_t max_jobs_in_flight = 8;
+  /// Computations one client may have running at once.
+  std::size_t per_client_jobs = 4;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig config);
+
+  /// Claims a computation slot for `client`; false (and a counted rejection)
+  /// when either budget is exhausted. Every true must be paired with a
+  /// release(client).
+  [[nodiscard]] bool try_acquire(const std::string& client);
+  void release(const std::string& client);
+
+  [[nodiscard]] std::size_t jobs_in_flight() const;
+  [[nodiscard]] std::uint64_t rejected() const;
+  [[nodiscard]] const AdmissionConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  AdmissionConfig config_;
+  mutable std::mutex mutex_;
+  std::size_t total_ = 0;
+  std::map<std::string, std::size_t> per_client_;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace ethsm::serve
+
+#endif  // ETHSM_SERVE_ADMISSION_H

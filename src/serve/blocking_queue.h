@@ -1,0 +1,87 @@
+// Bounded blocking MPMC queue handing accepted connections from the accept
+// loop to the worker threads. Closeable: close() wakes every blocked pop so
+// the workers can observe shutdown, and makes further push attempts fail so
+// the acceptor stops feeding a draining pool. The bound is the server's
+// listen-side backpressure -- when every worker is busy and the queue is
+// full, push_wait times out and the acceptor answers 503 instead of letting
+// accepted sockets pile up unserved.
+
+#ifndef ETHSM_SERVE_BLOCKING_QUEUE_H
+#define ETHSM_SERVE_BLOCKING_QUEUE_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace ethsm::serve {
+
+template <typename T>
+class BlockingQueue {
+ public:
+  /// `capacity` is clamped to at least 1 slot.
+  explicit BlockingQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Enqueues `value`, waiting up to `timeout` for a slot; false when the
+  /// queue stayed full for the whole wait or is closed.
+  template <typename Rep, typename Period>
+  [[nodiscard]] bool push_wait(T value,
+                               std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!not_full_.wait_for(lock, timeout, [this] {
+          return closed_ || items_.size() < capacity_;
+        })) {
+      return false;
+    }
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Dequeues the oldest item, blocking until one arrives; nullopt once the
+  /// queue is closed *and* drained.
+  [[nodiscard]] std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    T value = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Closes the queue: pending items still drain, further pushes fail, and
+  /// every pop unblocks. Idempotent.
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t depth() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace ethsm::serve
+
+#endif  // ETHSM_SERVE_BLOCKING_QUEUE_H

@@ -1,0 +1,354 @@
+#include "serve/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "support/json.h"
+
+namespace ethsm::serve {
+
+namespace {
+
+[[nodiscard]] bool is_token_char(char c) noexcept {
+  // RFC 7230 token characters (method and header-name alphabet).
+  if (std::isalnum(static_cast<unsigned char>(c))) return true;
+  switch (c) {
+    case '!': case '#': case '$': case '%': case '&': case '\'': case '*':
+    case '+': case '-': case '.': case '^': case '_': case '`': case '|':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+[[nodiscard]] std::string to_lower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+[[nodiscard]] std::string_view trim_ows(std::string_view text) noexcept {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+[[nodiscard]] int hex_digit(char c) noexcept {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::optional<std::string> percent_decode(std::string_view text,
+                                          bool plus_is_space) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '%') {
+      if (i + 2 >= text.size()) return std::nullopt;
+      const int hi = hex_digit(text[i + 1]);
+      const int lo = hex_digit(text[i + 2]);
+      if (hi < 0 || lo < 0) return std::nullopt;
+      const char decoded = static_cast<char>(hi * 16 + lo);
+      if (decoded == '\0') return std::nullopt;  // NUL never means anything good
+      out += decoded;
+      i += 2;
+    } else if (plus_is_space && c == '+') {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+const std::string* HttpRequest::header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+std::optional<std::string> HttpRequest::query_value(
+    std::string_view key) const {
+  for (const auto& [k, v] : query) {
+    if (k == key) return v;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> HttpRequest::query_values(std::string_view key) const {
+  std::vector<std::string> values;
+  for (const auto& [k, v] : query) {
+    if (k == key) values.push_back(v);
+  }
+  return values;
+}
+
+HttpRequestParser::HttpRequestParser(HttpLimits limits) : limits_(limits) {}
+
+void HttpRequestParser::fail(int status, std::string message) {
+  phase_ = Phase::failed;
+  error_status_ = status;
+  error_ = std::move(message);
+}
+
+void HttpRequestParser::feed(std::string_view bytes) {
+  if (phase_ == Phase::complete || phase_ == Phase::failed) return;
+  buffer_.append(bytes);
+  advance();
+}
+
+std::optional<std::string_view> HttpRequestParser::next_line() {
+  const std::size_t eol = buffer_.find('\n', cursor_);
+  if (eol == std::string::npos) return std::nullopt;
+  std::string_view line(buffer_.data() + cursor_, eol - cursor_);
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  cursor_ = eol + 1;
+  return line;
+}
+
+void HttpRequestParser::advance() {
+  while (phase_ == Phase::start_line || phase_ == Phase::headers) {
+    // Enforce the line/block limits on the *unparsed* bytes too, so an
+    // attacker streaming an endless line without '\n' is cut off at the cap
+    // instead of growing the buffer forever.
+    const std::size_t pending = buffer_.size() - cursor_;
+    if (phase_ == Phase::start_line && pending > limits_.max_start_line &&
+        buffer_.find('\n', cursor_) == std::string::npos) {
+      return fail(414, "request line too long");
+    }
+    if (phase_ == Phase::headers &&
+        header_bytes_ + pending > limits_.max_header_bytes &&
+        buffer_.find('\n', cursor_) == std::string::npos) {
+      return fail(431, "header block too large");
+    }
+    const auto line = next_line();
+    if (!line) return;  // need more bytes
+    if (phase_ == Phase::start_line) {
+      if (line->empty()) continue;  // tolerate leading blank lines (RFC 7230)
+      if (line->size() > limits_.max_start_line) {
+        return fail(414, "request line too long");
+      }
+      if (!parse_start_line(*line)) return;
+      phase_ = Phase::headers;
+    } else {
+      header_bytes_ += line->size() + 2;
+      if (header_bytes_ > limits_.max_header_bytes) {
+        return fail(431, "header block too large");
+      }
+      if (line->empty()) {
+        if (!finish_headers()) return;
+        phase_ = body_needed_ > 0 ? Phase::body : Phase::complete;
+        break;
+      }
+      if (request_.headers.size() >= limits_.max_headers) {
+        return fail(431, "too many headers");
+      }
+      if (!parse_header_line(*line)) return;
+    }
+  }
+  if (phase_ == Phase::body) {
+    if (buffer_.size() - cursor_ < body_needed_) return;  // need more bytes
+    request_.body.assign(buffer_, cursor_, body_needed_);
+    cursor_ += body_needed_;
+    phase_ = Phase::complete;
+  }
+}
+
+bool HttpRequestParser::parse_start_line(std::string_view line) {
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      line.find(' ', sp2 + 1) != std::string_view::npos) {
+    fail(400, "malformed request line (want METHOD SP target SP version)");
+    return false;
+  }
+  const std::string_view method = line.substr(0, sp1);
+  const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view version = line.substr(sp2 + 1);
+
+  if (method.empty() ||
+      !std::all_of(method.begin(), method.end(), is_token_char)) {
+    fail(400, "malformed method token");
+    return false;
+  }
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    fail(505, "only HTTP/1.0 and HTTP/1.1 are supported");
+    return false;
+  }
+  if (target.empty() || target.front() != '/') {
+    fail(400, "request target must be an absolute path");
+    return false;
+  }
+
+  request_.method = std::string(method);
+  request_.target = std::string(target);
+  request_.version = std::string(version);
+  request_.keep_alive = version == "HTTP/1.1";
+
+  const std::size_t qmark = target.find('?');
+  const auto path = percent_decode(target.substr(0, qmark), false);
+  if (!path) {
+    fail(400, "malformed percent-escape in request path");
+    return false;
+  }
+  request_.path = *path;
+  if (qmark != std::string_view::npos) {
+    std::string_view rest = target.substr(qmark + 1);
+    while (!rest.empty()) {
+      const std::size_t amp = rest.find('&');
+      const std::string_view pair = rest.substr(0, amp);
+      rest = amp == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(amp + 1);
+      if (pair.empty()) continue;
+      const std::size_t eq = pair.find('=');
+      const auto key = percent_decode(pair.substr(0, eq), true);
+      const auto value =
+          eq == std::string_view::npos
+              ? std::optional<std::string>(std::string{})
+              : percent_decode(pair.substr(eq + 1), true);
+      if (!key || !value) {
+        fail(400, "malformed percent-escape in query string");
+        return false;
+      }
+      request_.query.emplace_back(*key, *value);
+    }
+  }
+  return true;
+}
+
+bool HttpRequestParser::parse_header_line(std::string_view line) {
+  const std::size_t colon = line.find(':');
+  if (colon == std::string_view::npos || colon == 0) {
+    fail(400, "malformed header line (want name: value)");
+    return false;
+  }
+  const std::string_view name = line.substr(0, colon);
+  if (!std::all_of(name.begin(), name.end(), is_token_char)) {
+    fail(400, "malformed header name");
+    return false;
+  }
+  request_.headers.emplace_back(to_lower(name),
+                                std::string(trim_ows(line.substr(colon + 1))));
+  return true;
+}
+
+bool HttpRequestParser::finish_headers() {
+  if (request_.header("transfer-encoding") != nullptr) {
+    fail(501, "chunked request bodies are not supported; send Content-Length");
+    return false;
+  }
+  const std::string* length = request_.header("content-length");
+  if (length != nullptr) {
+    // Digits only, one consistent value; anything else is request smuggling
+    // territory and gets a hard 400.
+    if (length->empty() ||
+        !std::all_of(length->begin(), length->end(), [](unsigned char c) {
+          return std::isdigit(c) != 0;
+        }) ||
+        length->size() > 12) {
+      fail(400, "malformed Content-Length");
+      return false;
+    }
+    for (const auto& [key, value] : request_.headers) {
+      if (key == "content-length" && value != *length) {
+        fail(400, "conflicting Content-Length headers");
+        return false;
+      }
+    }
+    const unsigned long long parsed = std::stoull(*length);
+    if (parsed > limits_.max_body) {
+      fail(413, "request body too large");
+      return false;
+    }
+    body_needed_ = static_cast<std::size_t>(parsed);
+  }
+  if (const std::string* connection = request_.header("connection")) {
+    const std::string value = to_lower(*connection);
+    if (value.find("close") != std::string::npos) {
+      request_.keep_alive = false;
+    } else if (value.find("keep-alive") != std::string::npos) {
+      request_.keep_alive = true;
+    }
+  }
+  return true;
+}
+
+void HttpRequestParser::consume_request() {
+  // Pipelined bytes of the next request stay; everything parsed goes.
+  buffer_.erase(0, cursor_);
+  cursor_ = 0;
+  header_bytes_ = 0;
+  body_needed_ = 0;
+  request_ = HttpRequest{};
+  phase_ = Phase::start_line;
+  advance();
+}
+
+std::string_view status_reason(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 414: return "URI Too Long";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Error";
+  }
+}
+
+std::string serialize_response(const HttpResponse& response, bool keep_alive) {
+  const bool close = response.close_connection || !keep_alive;
+  std::string out;
+  out.reserve(response.body.size() + 256);
+  out += "HTTP/1.1 ";
+  out += std::to_string(response.status);
+  out += ' ';
+  out += status_reason(response.status);
+  out += "\r\nContent-Type: ";
+  out += response.content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(response.body.size());
+  out += "\r\nConnection: ";
+  out += close ? "close" : "keep-alive";
+  out += "\r\n";
+  for (const auto& [name, value] : response.extra_headers) {
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+HttpResponse json_error(int status, std::string_view message) {
+  HttpResponse response;
+  response.status = status;
+  // Error text can quote user-controlled spec fragments; escape properly.
+  response.body =
+      "{\"error\": \"" + support::json_escape(message) + "\"}\n";
+  return response;
+}
+
+}  // namespace ethsm::serve

@@ -1,0 +1,52 @@
+#include "serve/inflight.h"
+
+namespace ethsm::serve {
+
+InflightTable::Ticket InflightTable::begin(std::uint64_t fingerprint) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = jobs_.find(fingerprint); it != jobs_.end()) {
+    ++attached_;
+    return {it->second, false};
+  }
+  auto job = std::make_shared<Job>();
+  jobs_[fingerprint] = job;
+  return {std::move(job), true};
+}
+
+void InflightTable::finish(std::uint64_t fingerprint,
+                           const std::shared_ptr<Job>& job, JobState state,
+                           std::string payload) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    jobs_.erase(fingerprint);
+  }
+  {
+    const std::lock_guard<std::mutex> job_lock(job->mutex);
+    job->state = state;
+    job->payload = std::move(payload);
+  }
+  job->cv.notify_all();
+}
+
+InflightTable::Outcome InflightTable::wait(const std::shared_ptr<Job>& job) {
+  std::unique_lock<std::mutex> lock(job->mutex);
+  job->cv.wait(lock, [&] { return job->state != JobState::running; });
+  return {job->state, job->payload};
+}
+
+std::size_t InflightTable::depth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return jobs_.size();
+}
+
+bool InflightTable::running(std::uint64_t fingerprint) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return jobs_.count(fingerprint) != 0;
+}
+
+std::uint64_t InflightTable::attached() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return attached_;
+}
+
+}  // namespace ethsm::serve

@@ -1,0 +1,79 @@
+// In-flight request dedupe: identical concurrent specs collapse onto one
+// computation. The first requester of a fingerprint becomes the *leader* and
+// runs the experiment; every later requester arriving before it finishes
+// becomes a *follower* and blocks on the same job, receiving the identical
+// payload (or the leader's error / admission rejection) when it lands.
+// Repeat queries over the same (alpha, gamma) cells are the common case the
+// daemon is built for, so under a thundering herd exactly one computation
+// runs per distinct spec.
+//
+// The table holds job *state*, not threads: followers wait on a per-job
+// condition variable, and the shared_ptr keeps a job alive for stragglers
+// that looked it up just before the leader erased it.
+
+#ifndef ETHSM_SERVE_INFLIGHT_H
+#define ETHSM_SERVE_INFLIGHT_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace ethsm::serve {
+
+class InflightTable {
+ public:
+  enum class JobState {
+    running,   ///< leader still computing
+    done,      ///< payload is the rendered result JSON
+    failed,    ///< error carries the exception text (-> 500)
+    rejected,  ///< leader was refused by admission control (-> 429)
+  };
+
+  struct Job {
+    std::mutex mutex;
+    std::condition_variable cv;
+    JobState state = JobState::running;
+    std::string payload;  ///< result JSON (done) or error text (failed)
+  };
+
+  struct Ticket {
+    std::shared_ptr<Job> job;
+    bool leader = false;
+  };
+
+  /// Joins or starts the job for `fingerprint`. Exactly one concurrent caller
+  /// per fingerprint gets `leader == true` and must eventually call finish().
+  [[nodiscard]] Ticket begin(std::uint64_t fingerprint);
+
+  /// Leader-only: publishes the outcome, wakes every follower, and removes
+  /// the fingerprint from the table (later requests start a fresh job -- by
+  /// then the result sits in the ResultCache).
+  void finish(std::uint64_t fingerprint, const std::shared_ptr<Job>& job,
+              JobState state, std::string payload);
+
+  /// Follower: blocks until the leader finishes; returns the terminal state.
+  struct Outcome {
+    JobState state = JobState::running;
+    std::string payload;
+  };
+  [[nodiscard]] static Outcome wait(const std::shared_ptr<Job>& job);
+
+  /// Jobs currently computing (the daemon's in-flight gauge).
+  [[nodiscard]] std::size_t depth() const;
+  /// True when a computation for this fingerprint is running right now.
+  [[nodiscard]] bool running(std::uint64_t fingerprint) const;
+  /// Total follower attaches since startup (the dedupe win counter).
+  [[nodiscard]] std::uint64_t attached() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::uint64_t, std::shared_ptr<Job>> jobs_;
+  std::uint64_t attached_ = 0;
+};
+
+}  // namespace ethsm::serve
+
+#endif  // ETHSM_SERVE_INFLIGHT_H

@@ -1,0 +1,61 @@
+#include "serve/result_cache.h"
+
+namespace ethsm::serve {
+
+ResultCache::ResultCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::optional<std::string> ResultCache::get(std::uint64_t fingerprint) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(fingerprint);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->second;
+}
+
+bool ResultCache::contains(std::uint64_t fingerprint) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return index_.count(fingerprint) != 0;
+}
+
+void ResultCache::put(std::uint64_t fingerprint, std::string payload) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = index_.find(fingerprint); it != index_.end()) {
+    it->second->second = std::move(payload);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(fingerprint, std::move(payload));
+  index_[fingerprint] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+std::size_t ResultCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+std::uint64_t ResultCache::hits() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t ResultCache::misses() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+std::uint64_t ResultCache::evictions() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+}  // namespace ethsm::serve

@@ -1,0 +1,62 @@
+// LRU cache of rendered ExperimentResult JSON payloads, keyed by spec
+// fingerprint. The serve hot path: a repeat query over the same resolved spec
+// is answered from here at memory speed; a miss falls back to api::run with
+// the daemon's checkpoint directory, which reloads the sweep records from
+// disk instead of recomputing (the content-addressed store is the second
+// cache tier). Capacity is a hard entry count -- the preset registry is ~24
+// payloads (full + quick), so the default comfortably serves it all warm.
+//
+// Deliberately node-local and interface-minimal (get/put over an opaque
+// payload): a later multi-node deployment swaps this for a shared tier
+// behind the same two calls without touching the service layer.
+
+#ifndef ETHSM_SERVE_RESULT_CACHE_H
+#define ETHSM_SERVE_RESULT_CACHE_H
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace ethsm::serve {
+
+/// Thread-safe LRU map fingerprint -> rendered JSON payload.
+class ResultCache {
+ public:
+  /// `capacity` is clamped to at least 1 entry.
+  explicit ResultCache(std::size_t capacity);
+
+  /// Payload for `fingerprint`, bumping its recency; counts a hit or miss.
+  [[nodiscard]] std::optional<std::string> get(std::uint64_t fingerprint);
+
+  /// True when cached, with no recency bump and no hit/miss accounting
+  /// (progress/status probes must not skew the cache statistics).
+  [[nodiscard]] bool contains(std::uint64_t fingerprint) const;
+
+  /// Inserts or refreshes; evicts the least recently used entry on overflow.
+  void put(std::uint64_t fingerprint, std::string payload);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t hits() const;
+  [[nodiscard]] std::uint64_t misses() const;
+  [[nodiscard]] std::uint64_t evictions() const;
+
+ private:
+  using Entry = std::pair<std::uint64_t, std::string>;
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace ethsm::serve
+
+#endif  // ETHSM_SERVE_RESULT_CACHE_H

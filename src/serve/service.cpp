@@ -1,0 +1,358 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include "api/presets.h"
+#include "api/render.h"
+#include "api/result.h"
+#include "api/runner.h"
+#include "api/spec.h"
+#include "support/check.h"
+#include "support/checkpoint.h"
+#include "support/json.h"
+
+namespace ethsm::serve {
+
+using support::hex64;
+using support::json_escape;
+
+ExperimentService::ExperimentService(ServiceConfig config)
+    : config_(std::move(config)),
+      cache_(config_.cache_entries),
+      admission_(config_.admission),
+      started_(std::chrono::steady_clock::now()) {
+  ETHSM_EXPECTS(!config_.checkpoint_dir.empty(),
+                "serve needs a checkpoint directory");
+  // Preload the registry: /v1/result and /v1/progress resolve every preset
+  // fingerprint (full and quick) from the first request on, cold cache or
+  // not.
+  for (const api::Preset& preset : api::presets()) {
+    for (const bool quick : {false, true}) {
+      const api::ExperimentSpec spec = preset.spec(quick);
+      remember_spec(api::spec_fingerprint(spec), api::print_spec(spec));
+    }
+  }
+}
+
+std::optional<std::uint64_t> ExperimentService::parse_fingerprint(
+    std::string_view text) {
+  if (text.rfind("0x", 0) == 0 || text.rfind("0X", 0) == 0) {
+    text.remove_prefix(2);
+  }
+  if (text.empty() || text.size() > 16) return std::nullopt;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    int digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      return std::nullopt;
+    }
+    value = (value << 4) | static_cast<std::uint64_t>(digit);
+  }
+  return value;
+}
+
+void ExperimentService::remember_spec(std::uint64_t fingerprint,
+                                      std::string spec_text) {
+  const std::lock_guard<std::mutex> lock(specs_mutex_);
+  known_specs_[fingerprint] = std::move(spec_text);
+}
+
+std::optional<std::string> ExperimentService::known_spec(
+    std::uint64_t fingerprint) const {
+  const std::lock_guard<std::mutex> lock(specs_mutex_);
+  const auto it = known_specs_.find(fingerprint);
+  if (it == known_specs_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::shared_ptr<std::mutex> ExperimentService::sweep_lock(
+    std::uint64_t sweep) {
+  const std::lock_guard<std::mutex> lock(sweep_locks_mutex_);
+  auto& slot = sweep_locks_[sweep];
+  if (!slot) slot = std::make_shared<std::mutex>();
+  return slot;
+}
+
+HttpResponse ExperimentService::handle(const HttpRequest& request,
+                                       const std::string& client) {
+  ++requests_total_;
+  try {
+    const std::string& path = request.path;
+    if (path == "/v1/run") {
+      if (request.method != "POST") {
+        return json_error(405, "POST /v1/run (got " + request.method + ")");
+      }
+      ++requests_run_;
+      return handle_run(request, client);
+    }
+    if (path.rfind("/v1/result/", 0) == 0) {
+      if (request.method != "GET") return json_error(405, "GET only");
+      ++requests_result_;
+      return handle_result(path.substr(std::strlen("/v1/result/")), client);
+    }
+    if (path == "/v1/presets") {
+      if (request.method != "GET") return json_error(405, "GET only");
+      ++requests_presets_;
+      return {200, "application/json", {}, api::render_presets_json(), false};
+    }
+    if (path == "/v1/status") {
+      if (request.method != "GET") return json_error(405, "GET only");
+      ++requests_status_;
+      return handle_status();
+    }
+    if (path.rfind("/v1/progress/", 0) == 0) {
+      if (request.method != "GET") return json_error(405, "GET only");
+      ++requests_progress_;
+      return handle_progress(path.substr(std::strlen("/v1/progress/")));
+    }
+    return json_error(404, "unknown endpoint " + path);
+  } catch (const api::SpecError& e) {
+    return json_error(400, e.what());
+  } catch (const std::exception& e) {
+    ++failures_;
+    return json_error(500, e.what());
+  }
+}
+
+HttpResponse ExperimentService::handle_run(const HttpRequest& request,
+                                           const std::string& client) {
+  // Spec sources are exclusive: a raw spec body XOR a ?preset= reference.
+  const std::optional<std::string> preset = request.query_value("preset");
+  const bool quick = request.query_value("quick").value_or("0") != "0";
+  std::string text;
+  if (!request.body.empty()) {
+    if (preset) {
+      return json_error(400,
+                        "give a spec body or ?preset=..., not both");
+    }
+    text = request.body;
+  } else if (preset) {
+    text = api::print_spec(api::preset_spec(*preset, quick));
+  } else {
+    return json_error(400,
+                      "POST /v1/run needs a spec body (parse_spec grammar) "
+                      "or ?preset=NAME[&quick=1]");
+  }
+
+  // Byte-for-byte the CLI's SpecRequest::resolve path, with ?set= playing
+  // the role of repeated --set flags -- this is what makes served payloads
+  // bitwise-identical to `ethsm run` output.
+  api::SpecEntries entries = api::parse_spec_entries(text);
+  for (const std::string& assignment : request.query_values("set")) {
+    api::apply_override(entries, assignment);
+  }
+  const api::ExperimentSpec spec = api::spec_from_entries(entries);
+  const std::uint64_t fingerprint = api::spec_fingerprint(spec);
+  const std::string canonical = api::print_spec(spec);
+  remember_spec(fingerprint, canonical);
+  return run_spec(fingerprint, canonical, client);
+}
+
+HttpResponse ExperimentService::handle_result(std::string_view hex,
+                                              const std::string& client) {
+  const std::optional<std::uint64_t> fingerprint = parse_fingerprint(hex);
+  if (!fingerprint) {
+    return json_error(400, "malformed fingerprint '" + std::string(hex) +
+                               "' (want 16 hex digits)");
+  }
+  // Cache first; else recompute any spec this daemon knows (presets are
+  // preloaded, posted specs are remembered) -- with warm checkpoints that
+  // recompute is a disk reload, which is exactly the restart story.
+  if (std::optional<std::string> payload = cache_.get(*fingerprint)) {
+    HttpResponse response;
+    response.body = std::move(*payload);
+    response.extra_headers.emplace_back("X-Ethsm-Source", "cache");
+    return response;
+  }
+  const std::optional<std::string> spec_text = known_spec(*fingerprint);
+  if (!spec_text) {
+    return json_error(404, "unknown result fingerprint " + hex64(*fingerprint) +
+                               "; POST the spec to /v1/run first");
+  }
+  return run_spec(*fingerprint, *spec_text, client);
+}
+
+HttpResponse ExperimentService::rejected_response() {
+  HttpResponse response =
+      json_error(429, "computation budget exhausted; retry after " +
+                          std::to_string(config_.retry_after_seconds) + "s");
+  response.extra_headers.emplace_back(
+      "Retry-After", std::to_string(config_.retry_after_seconds));
+  return response;
+}
+
+HttpResponse ExperimentService::run_spec(std::uint64_t fingerprint,
+                                         const std::string& spec_text,
+                                         const std::string& client) {
+  if (std::optional<std::string> payload = cache_.get(fingerprint)) {
+    HttpResponse response;
+    response.body = std::move(*payload);
+    response.extra_headers.emplace_back("X-Ethsm-Source", "cache");
+    return response;
+  }
+
+  const InflightTable::Ticket ticket = inflight_.begin(fingerprint);
+  if (!ticket.leader) {
+    // Dedupe: ride the computation some other request already started.
+    // Attaching is free -- admission gates only computation starts.
+    const InflightTable::Outcome outcome = InflightTable::wait(ticket.job);
+    switch (outcome.state) {
+      case InflightTable::JobState::done: {
+        HttpResponse response;
+        response.body = outcome.payload;
+        response.extra_headers.emplace_back("X-Ethsm-Source", "dedup");
+        return response;
+      }
+      case InflightTable::JobState::rejected:
+        return rejected_response();
+      case InflightTable::JobState::failed:
+      default:
+        return json_error(500, outcome.payload);
+    }
+  }
+
+  // Leader. Re-check the cache after winning leadership: a previous leader
+  // may have published between our miss and our begin().
+  if (std::optional<std::string> payload = cache_.get(fingerprint)) {
+    inflight_.finish(fingerprint, ticket.job, InflightTable::JobState::done,
+                     *payload);
+    HttpResponse response;
+    response.body = std::move(*payload);
+    response.extra_headers.emplace_back("X-Ethsm-Source", "cache");
+    return response;
+  }
+
+  if (!admission_.try_acquire(client)) {
+    // Followers of this job get the same 429: had they arrived alone they
+    // would have been the over-budget leader themselves.
+    inflight_.finish(fingerprint, ticket.job,
+                     InflightTable::JobState::rejected, {});
+    return rejected_response();
+  }
+
+  try {
+    const api::ExperimentSpec spec = api::parse_spec(spec_text);
+    // One writer per sweep (the checkpoint store's contract): distinct specs
+    // can touch the same sweep, so take every sweep lock in sorted order.
+    std::vector<std::uint64_t> sweeps = api::sweep_fingerprints(spec);
+    std::sort(sweeps.begin(), sweeps.end());
+    sweeps.erase(std::unique(sweeps.begin(), sweeps.end()), sweeps.end());
+    std::vector<std::shared_ptr<std::mutex>> locks;
+    locks.reserve(sweeps.size());
+    for (const std::uint64_t sweep : sweeps) locks.push_back(sweep_lock(sweep));
+    std::vector<std::unique_lock<std::mutex>> held;
+    held.reserve(locks.size());
+    for (const auto& lock : locks) held.emplace_back(*lock);
+
+    api::RunOptions options;
+    options.checkpoint.directory = config_.checkpoint_dir;
+    const api::ExperimentResult result = api::run(spec, options);
+    held.clear();
+    ++computations_;
+
+    std::string payload =
+        api::render_json(api::provenance_normalized(result));
+    cache_.put(fingerprint, payload);
+    admission_.release(client);
+    inflight_.finish(fingerprint, ticket.job, InflightTable::JobState::done,
+                     payload);
+    HttpResponse response;
+    response.body = std::move(payload);
+    response.extra_headers.emplace_back("X-Ethsm-Source", "computed");
+    return response;
+  } catch (const std::exception& e) {
+    // Errors are not cached: a transient failure (disk, OOM) must not poison
+    // the fingerprint until an eviction.
+    ++failures_;
+    admission_.release(client);
+    inflight_.finish(fingerprint, ticket.job, InflightTable::JobState::failed,
+                     e.what());
+    return json_error(500, e.what());
+  }
+}
+
+HttpResponse ExperimentService::handle_status() {
+  const auto uptime = std::chrono::duration_cast<std::chrono::seconds>(
+                          std::chrono::steady_clock::now() - started_)
+                          .count();
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"uptime_seconds\": " << uptime << ",\n";
+  os << "  \"requests\": {\"total\": " << requests_total_.load()
+     << ", \"run\": " << requests_run_.load()
+     << ", \"result\": " << requests_result_.load()
+     << ", \"presets\": " << requests_presets_.load()
+     << ", \"status\": " << requests_status_.load()
+     << ", \"progress\": " << requests_progress_.load() << "},\n";
+  os << "  \"cache\": {\"entries\": " << cache_.size()
+     << ", \"capacity\": " << cache_.capacity()
+     << ", \"hits\": " << cache_.hits() << ", \"misses\": " << cache_.misses()
+     << ", \"evictions\": " << cache_.evictions() << "},\n";
+  os << "  \"jobs\": {\"in_flight\": " << inflight_.depth()
+     << ", \"computed\": " << computations_.load()
+     << ", \"failed\": " << failures_.load()
+     << ", \"dedupe_attached\": " << inflight_.attached() << "},\n";
+  os << "  \"admission\": {\"max_jobs_in_flight\": "
+     << admission_.config().max_jobs_in_flight
+     << ", \"per_client_jobs\": " << admission_.config().per_client_jobs
+     << ", \"acquired\": " << admission_.jobs_in_flight()
+     << ", \"rejected\": " << admission_.rejected() << "},\n";
+  os << "  \"queue_depth\": " << (queue_depth_ ? queue_depth_() : 0) << "\n";
+  os << "}\n";
+  HttpResponse response;
+  response.body = os.str();
+  return response;
+}
+
+std::optional<std::string> ExperimentService::progress_snapshot(
+    std::uint64_t fingerprint) {
+  const std::optional<std::string> spec_text = known_spec(fingerprint);
+  if (!spec_text) return std::nullopt;
+  const api::ExperimentSpec spec = api::parse_spec(*spec_text);
+
+  std::ostringstream os;
+  os << "{\"fingerprint\": \"" << hex64(fingerprint) << "\", \"computing\": "
+     << (inflight_.running(fingerprint) ? "true" : "false")
+     << ", \"cached\": " << (cache_.contains(fingerprint) ? "true" : "false")
+     << ", \"sweeps\": [";
+  bool first = true;
+  for (const std::uint64_t sweep : api::sweep_fingerprints(spec)) {
+    // The read-only record scan of the store: safe against the concurrent
+    // writer by the checkpoint writer/reader contract.
+    const std::size_t records =
+        support::read_checkpoint_records(config_.checkpoint_dir, sweep).size();
+    os << (first ? "" : ", ");
+    first = false;
+    os << "{\"fingerprint\": \"" << hex64(sweep)
+       << "\", \"records\": " << records << "}";
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+HttpResponse ExperimentService::handle_progress(std::string_view hex) {
+  const std::optional<std::uint64_t> fingerprint = parse_fingerprint(hex);
+  if (!fingerprint) {
+    return json_error(400, "malformed fingerprint '" + std::string(hex) +
+                               "' (want 16 hex digits)");
+  }
+  std::optional<std::string> snapshot = progress_snapshot(*fingerprint);
+  if (!snapshot) {
+    return json_error(404, "unknown fingerprint " + hex64(*fingerprint) +
+                               "; POST the spec to /v1/run first");
+  }
+  HttpResponse response;
+  response.body = std::move(*snapshot);
+  return response;
+}
+
+}  // namespace ethsm::serve

@@ -1,0 +1,150 @@
+// ExperimentService: the transport-free core of `ethsm serve` (ROADMAP:
+// "experiment results as a service"). Maps parsed HTTP requests onto the
+// experiment API and answers with rendered JSON:
+//
+//   POST /v1/run                 run a spec (body = parse_spec grammar text,
+//                                or ?preset=NAME[&quick=1]); repeated ?set=
+//                                query parameters apply like --set flags
+//   GET  /v1/result/<hex>        result by spec fingerprint (cache, else a
+//                                checkpoint-backed recompute of a known spec)
+//   GET  /v1/presets             the preset registry (render_presets_json)
+//   GET  /v1/status              observability counters
+//   GET  /v1/progress/<hex>      checkpoint-record progress snapshot; the
+//                                server streams it when ?follow=1
+//
+// Spec resolution is byte-for-byte the CLI's `SpecRequest::resolve` path
+// (print_spec of the preset -> parse_spec_entries -> apply_override per set
+// -> spec_from_entries) and results render through render_json of the
+// provenance-normalized result, so a served payload is bitwise-identical to
+// `ethsm run ... --format json` for the same spec -- asserted per preset by
+// tests/serve/service_test.cpp.
+//
+// Layering: identical concurrent specs dedupe onto one computation
+// (InflightTable), repeat queries hit the ResultCache, cold cache misses
+// reload sweep records from the CheckpointStore tier before computing
+// anything, and only requests that would actually *start* a computation pass
+// through admission control (429 + Retry-After when over budget). The cache
+// and dedupe layers are keyed by spec fingerprint alone, so pointing them at
+// a shared store later is a swap of those classes, not of this one.
+
+#ifndef ETHSM_SERVE_SERVICE_H
+#define ETHSM_SERVE_SERVICE_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "serve/admission.h"
+#include "serve/http.h"
+#include "serve/inflight.h"
+#include "serve/result_cache.h"
+
+namespace ethsm::serve {
+
+struct ServiceConfig {
+  /// Checkpoint directory backing every served computation (required: the
+  /// store is the daemon's second cache tier and its restart persistence).
+  std::string checkpoint_dir;
+  /// ResultCache entries (rendered JSON payloads).
+  std::size_t cache_entries = 256;
+  AdmissionConfig admission;
+  /// Retry-After header value on 429 responses.
+  unsigned retry_after_seconds = 2;
+};
+
+class ExperimentService {
+ public:
+  explicit ExperimentService(ServiceConfig config);
+
+  /// Answers one parsed request. `client` is the admission identity (the
+  /// X-Ethsm-Client header when present, else the peer address -- the server
+  /// resolves it). Never throws: internal errors map to 500 responses.
+  [[nodiscard]] HttpResponse handle(const HttpRequest& request,
+                                    const std::string& client);
+
+  /// Progress snapshot JSON for a fingerprint the service knows; nullopt for
+  /// an unknown one. Transport-free so the server can stream it repeatedly
+  /// on ?follow=1 without re-routing through handle().
+  [[nodiscard]] std::optional<std::string> progress_snapshot(
+      std::uint64_t fingerprint);
+
+  /// True while a computation for this fingerprint is running (the server's
+  /// keep-streaming condition for ?follow=1).
+  [[nodiscard]] bool computing(std::uint64_t fingerprint) const {
+    return inflight_.running(fingerprint);
+  }
+
+  /// Connection-queue depth hook for /v1/status (wired by the server; the
+  /// service itself is transport-free).
+  void set_queue_depth_provider(std::function<std::size_t()> provider) {
+    queue_depth_ = std::move(provider);
+  }
+
+  /// "0x" -free 16-digit lower-case hex fingerprint, as hex64 renders it;
+  /// tolerant of an optional 0x prefix. nullopt on malformed input.
+  [[nodiscard]] static std::optional<std::uint64_t> parse_fingerprint(
+      std::string_view text);
+
+  [[nodiscard]] ResultCache& cache() noexcept { return cache_; }
+  [[nodiscard]] InflightTable& inflight() noexcept { return inflight_; }
+  [[nodiscard]] AdmissionController& admission() noexcept { return admission_; }
+  [[nodiscard]] const ServiceConfig& config() const noexcept { return config_; }
+
+ private:
+  HttpResponse handle_run(const HttpRequest& request,
+                          const std::string& client);
+  HttpResponse handle_result(std::string_view hex, const std::string& client);
+  HttpResponse handle_status();
+  HttpResponse handle_progress(std::string_view hex);
+
+  /// The cache -> dedupe -> admission -> api::run path for a spec whose
+  /// canonical text is `spec_text`.
+  HttpResponse run_spec(std::uint64_t fingerprint, const std::string& spec_text,
+                        const std::string& client);
+  HttpResponse rejected_response();
+
+  /// Remembers fingerprint -> canonical spec text, so /v1/result and
+  /// /v1/progress resolve fingerprints the daemon has seen (every preset is
+  /// preloaded, every successfully resolved POST /v1/run spec is added).
+  void remember_spec(std::uint64_t fingerprint, std::string spec_text);
+  [[nodiscard]] std::optional<std::string> known_spec(
+      std::uint64_t fingerprint) const;
+
+  ServiceConfig config_;
+  ResultCache cache_;
+  InflightTable inflight_;
+  AdmissionController admission_;
+  std::function<std::size_t()> queue_depth_;
+  std::chrono::steady_clock::time_point started_;
+
+  mutable std::mutex specs_mutex_;
+  std::map<std::uint64_t, std::string> known_specs_;
+
+  /// Per-sweep writer locks: api::run opens the checkpoint store for every
+  /// sweep it touches, and the store's writer/reader contract allows one
+  /// writer per sweep. Distinct specs can share sweep fingerprints, so the
+  /// dedupe table alone does not serialize them -- these locks do.
+  std::mutex sweep_locks_mutex_;
+  std::map<std::uint64_t, std::shared_ptr<std::mutex>> sweep_locks_;
+  [[nodiscard]] std::shared_ptr<std::mutex> sweep_lock(std::uint64_t sweep);
+
+  // Observability counters for /v1/status.
+  std::atomic<std::uint64_t> requests_total_{0};
+  std::atomic<std::uint64_t> requests_run_{0};
+  std::atomic<std::uint64_t> requests_result_{0};
+  std::atomic<std::uint64_t> requests_presets_{0};
+  std::atomic<std::uint64_t> requests_status_{0};
+  std::atomic<std::uint64_t> requests_progress_{0};
+  std::atomic<std::uint64_t> computations_{0};
+  std::atomic<std::uint64_t> failures_{0};
+};
+
+}  // namespace ethsm::serve
+
+#endif  // ETHSM_SERVE_SERVICE_H

@@ -204,9 +204,100 @@ bool read_raw(std::ifstream& in, T& out) {
 }
 
 template <typename T>
-void write_raw(std::ofstream& out, T value) {
+void append_raw(std::string& buffer, T value) {
   static_assert(std::is_trivially_copyable_v<T>);
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+  buffer.append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+/// Outcome of walking one checkpoint file's header + records.
+struct FileWalk {
+  bool header_ok = false;         ///< magic/version matched
+  std::uint64_t fingerprint = 0;  ///< header fingerprint (valid iff header_ok)
+  std::uint64_t valid_end = 0;    ///< byte offset after the last valid record
+  std::size_t records = 0;        ///< checksum-valid records seen
+};
+
+/// Shared record walk of CheckpointStore::load, scan_checkpoint_directory and
+/// read_checkpoint_records: reads records until the first truncated,
+/// over-long or checksum-corrupted one. When `expected_fingerprint` is set
+/// and the header names a different sweep, the walk stops after the header
+/// (header_ok stays true; the caller decides whether foreign files matter).
+/// Torn-tail safety rests here: a record the writer has not fully flushed
+/// fails the length bound or the trailing checksum and terminates the walk,
+/// so concurrent readers observe a valid record prefix, never torn data.
+template <typename Sink>  // void(std::uint64_t job, std::vector<std::byte>&&)
+FileWalk walk_checkpoint_file(const std::string& path,
+                              const std::optional<std::uint64_t>&
+                                  expected_fingerprint,
+                              Sink&& sink) {
+  FileWalk walk;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return walk;
+  std::error_code size_ec;
+  const std::uint64_t file_bytes = fs::file_size(path, size_ec);
+  if (size_ec) return walk;
+
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint32_t reserved = 0;
+  std::uint64_t file_fingerprint = 0;
+  if (!read_raw(in, magic) || !read_raw(in, version) ||
+      !read_raw(in, reserved) || !read_raw(in, file_fingerprint)) {
+    return walk;  // too short to even hold a header
+  }
+  if (magic != CheckpointStore::kMagic ||
+      version != CheckpointStore::kFormatVersion) {
+    return walk;  // foreign file: ignore wholesale
+  }
+  walk.header_ok = true;
+  walk.fingerprint = file_fingerprint;
+  walk.valid_end = sizeof magic + sizeof version + sizeof reserved +
+                   sizeof file_fingerprint;
+  if (expected_fingerprint && file_fingerprint != *expected_fingerprint) {
+    return walk;  // stale sweep: header fine, records are not ours
+  }
+
+  for (;;) {
+    std::uint64_t job = 0;
+    std::uint64_t size = 0;
+    if (!read_raw(in, job) || !read_raw(in, size)) break;  // truncated tail
+    // A corrupted size field must not drive the allocation below: the
+    // payload + checksum cannot extend past the end of the file.
+    const std::uint64_t record_data_start =
+        walk.valid_end + sizeof job + sizeof size;
+    if (size > file_bytes ||
+        record_data_start + size + sizeof(std::uint64_t) > file_bytes) {
+      break;
+    }
+    std::vector<std::byte> payload(size);
+    if (!in.read(reinterpret_cast<char*>(payload.data()),
+                 static_cast<std::streamsize>(size))) {
+      break;
+    }
+    std::uint64_t checksum = 0;
+    if (!read_raw(in, checksum)) break;
+    if (checksum != record_checksum(job, payload.data(), payload.size())) {
+      break;  // corruption: stop trusting this file from here on
+    }
+    sink(job, std::move(payload));
+    ++walk.records;
+    walk.valid_end += sizeof job + sizeof size + size + sizeof checksum;
+  }
+  return walk;
+}
+
+/// Sorted *.ethsmck paths under `directory` (deterministic merge order).
+std::vector<std::string> checkpoint_files_in(const std::string& directory) {
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(directory, ec)) {
+    if (!entry.is_regular_file()) continue;
+    if (entry.path().extension() == kFileExtension) {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
 }
 
 }  // namespace
@@ -228,19 +319,9 @@ CheckpointStore::CheckpointStore(std::string directory,
     ETHSM_EXPECTS(!create_ec, "cannot create checkpoint directory " +
                                   directory_ + ": " + create_ec.message());
   });
-  std::error_code ec;
-
   // Merge every readable matching file: this process's earlier attempts plus
   // any other shard's output dropped into the same directory.
-  std::vector<std::string> files;
-  for (const auto& entry : fs::directory_iterator(directory_, ec)) {
-    if (!entry.is_regular_file()) continue;
-    if (entry.path().extension() == kFileExtension) {
-      files.push_back(entry.path().string());
-    }
-  }
-  std::sort(files.begin(), files.end());  // deterministic merge order
-  for (const auto& path : files) {
+  for (const auto& path : checkpoint_files_in(directory_)) {
     const std::uint64_t valid_bytes = load_file(path);
     if (path == own_file_path()) {
       // This process appends to its own file: drop any truncated/corrupt tail
@@ -264,53 +345,15 @@ std::string CheckpointStore::own_file_path() const {
 }
 
 std::uint64_t CheckpointStore::load_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return 0;
-  std::error_code size_ec;
-  const std::uint64_t file_bytes = fs::file_size(path, size_ec);
-  if (size_ec) return 0;
-
-  std::uint64_t magic = 0;
-  std::uint32_t version = 0;
-  std::uint32_t reserved = 0;
-  std::uint64_t file_fingerprint = 0;
-  if (!read_raw(in, magic) || !read_raw(in, version) ||
-      !read_raw(in, reserved) || !read_raw(in, file_fingerprint)) {
-    return 0;  // too short to even hold a header
-  }
-  if (magic != kMagic || version != kFormatVersion ||
-      file_fingerprint != fingerprint_) {
+  const FileWalk walk = walk_checkpoint_file(
+      path, fingerprint_, [this](std::uint64_t job,
+                                 std::vector<std::byte>&& payload) {
+        records_[job] = std::move(payload);
+      });
+  if (!walk.header_ok || walk.fingerprint != fingerprint_) {
     return 0;  // stale sweep / foreign file: ignore wholesale
   }
-
-  std::uint64_t valid_end = sizeof magic + sizeof version + sizeof reserved +
-                            sizeof file_fingerprint;
-  for (;;) {
-    std::uint64_t job = 0;
-    std::uint64_t size = 0;
-    if (!read_raw(in, job) || !read_raw(in, size)) break;  // truncated tail
-    // A corrupted size field must not drive the allocation below: the
-    // payload + checksum cannot extend past the end of the file.
-    const std::uint64_t record_data_start =
-        valid_end + sizeof job + sizeof size;
-    if (size > file_bytes ||
-        record_data_start + size + sizeof(std::uint64_t) > file_bytes) {
-      break;
-    }
-    std::vector<std::byte> payload(size);
-    if (!in.read(reinterpret_cast<char*>(payload.data()),
-                 static_cast<std::streamsize>(size))) {
-      break;
-    }
-    std::uint64_t checksum = 0;
-    if (!read_raw(in, checksum)) break;
-    if (checksum != record_checksum(job, payload.data(), payload.size())) {
-      break;  // corruption: stop trusting this file from here on
-    }
-    records_[job] = std::move(payload);
-    valid_end += sizeof job + sizeof size + size + sizeof checksum;
-  }
-  return valid_end;
+  return walk.valid_end;
 }
 
 const std::vector<std::byte>& CheckpointStore::payload(
@@ -334,17 +377,24 @@ void CheckpointStore::append(std::uint64_t job,
                   "cannot open checkpoint file " + path);
     return stream;
   });
+  // The whole append is staged into one buffer and handed to the stream as a
+  // single write: concurrent readers of the same sweep then race against at
+  // most one partially-flushed record, which their checksum walk rejects
+  // (the writer/reader contract in checkpoint.h).
+  std::string buffer;
+  buffer.reserve(payload.size() + 64);
   if (fresh) {
-    write_raw(out, kMagic);
-    write_raw(out, kFormatVersion);
-    write_raw(out, std::uint32_t{0});
-    write_raw(out, fingerprint_);
+    append_raw(buffer, kMagic);
+    append_raw(buffer, kFormatVersion);
+    append_raw(buffer, std::uint32_t{0});
+    append_raw(buffer, fingerprint_);
   }
-  write_raw(out, job);
-  write_raw(out, static_cast<std::uint64_t>(payload.size()));
-  out.write(reinterpret_cast<const char*>(payload.data()),
-            static_cast<std::streamsize>(payload.size()));
-  write_raw(out, record_checksum(job, payload.data(), payload.size()));
+  append_raw(buffer, job);
+  append_raw(buffer, static_cast<std::uint64_t>(payload.size()));
+  buffer.append(reinterpret_cast<const char*>(payload.data()),
+                payload.size());
+  append_raw(buffer, record_checksum(job, payload.data(), payload.size()));
+  out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
   out.flush();
   ETHSM_ENSURES(static_cast<bool>(out),
                 "short write to checkpoint file " + path);
@@ -368,45 +418,14 @@ std::vector<CheckpointFileInfo> scan_checkpoint_directory(
     info.bytes = fs::file_size(entry.path(), size_ec);
     if (size_ec) info.bytes = 0;
 
-    std::ifstream in(info.path, std::ios::binary);
-    std::uint64_t magic = 0;
-    std::uint32_t version = 0;
-    std::uint32_t reserved = 0;
-    std::uint64_t fingerprint = 0;
-    if (in && read_raw(in, magic) && read_raw(in, version) &&
-        read_raw(in, reserved) && read_raw(in, fingerprint) &&
-        magic == CheckpointStore::kMagic &&
-        version == CheckpointStore::kFormatVersion) {
-      info.readable = true;
-      info.fingerprint = fingerprint;
-      // Same record walk as CheckpointStore::load_file: stop at the first
-      // truncated or checksum-corrupted record.
-      std::uint64_t valid_end = sizeof magic + sizeof version +
-                                sizeof reserved + sizeof fingerprint;
-      for (;;) {
-        std::uint64_t job = 0;
-        std::uint64_t size = 0;
-        if (!read_raw(in, job) || !read_raw(in, size)) break;
-        const std::uint64_t record_data_start =
-            valid_end + sizeof job + sizeof size;
-        if (size > info.bytes ||
-            record_data_start + size + sizeof(std::uint64_t) > info.bytes) {
-          break;
-        }
-        std::vector<std::byte> payload(size);
-        if (!in.read(reinterpret_cast<char*>(payload.data()),
-                     static_cast<std::streamsize>(size))) {
-          break;
-        }
-        std::uint64_t checksum = 0;
-        if (!read_raw(in, checksum)) break;
-        if (checksum != record_checksum(job, payload.data(), payload.size())) {
-          break;
-        }
-        ++info.records;
-        valid_end += sizeof job + sizeof size + size + sizeof checksum;
-      }
-    }
+    // Same record walk as CheckpointStore::load_file: stop at the first
+    // truncated or checksum-corrupted record.
+    const FileWalk walk = walk_checkpoint_file(
+        info.path, std::nullopt,
+        [](std::uint64_t, std::vector<std::byte>&&) {});
+    info.readable = walk.header_ok;
+    info.fingerprint = walk.fingerprint;
+    info.records = walk.records;
     files.push_back(std::move(info));
   }
   std::sort(files.begin(), files.end(),
@@ -414,6 +433,19 @@ std::vector<CheckpointFileInfo> scan_checkpoint_directory(
               return a.path < b.path;
             });
   return files;
+}
+
+std::map<std::uint64_t, std::vector<std::byte>> read_checkpoint_records(
+    const std::string& directory, std::uint64_t fingerprint) {
+  std::map<std::uint64_t, std::vector<std::byte>> records;
+  for (const auto& path : checkpoint_files_in(directory)) {
+    walk_checkpoint_file(path, fingerprint,
+                         [&records](std::uint64_t job,
+                                    std::vector<std::byte>&& payload) {
+                           records[job] = std::move(payload);
+                         });
+  }
+  return records;
 }
 
 // -------------------------------------------------------------- bench CLI --

@@ -178,6 +178,17 @@ struct CheckpointCodec<Histogram> {
 /// flushed record-by-record, so a killed process loses at most the record
 /// being written. Append is thread-safe (called from pool workers); one store
 /// instance must not be shared between processes.
+///
+/// Writer/reader concurrency contract (relied on by `ethsm serve`, which
+/// answers progress reads while a sweep is still appending): every record is
+/// written with a single buffered write whose checksum trails the payload, so
+/// a reader racing the writer sees either the whole record or a tail that
+/// fails the length/checksum walk -- never a torn record presented as data.
+/// Concurrent readers must go through read_checkpoint_records /
+/// scan_checkpoint_directory (both stop at the first invalid record and never
+/// write); constructing a second CheckpointStore for the same (directory,
+/// fingerprint, shard) while a writer is live is NOT safe -- the constructor
+/// truncates its own file's invalid tail.
 class CheckpointStore {
  public:
   /// "ETHSMCK1" as a little-endian u64.
@@ -235,6 +246,17 @@ struct CheckpointFileInfo {
 /// directory. Missing directory => empty result.
 [[nodiscard]] std::vector<CheckpointFileInfo> scan_checkpoint_directory(
     const std::string& directory);
+
+/// Read-only merge of every valid record for `fingerprint` under `directory`
+/// (all shard files, sorted by path; later files win duplicate job indices,
+/// matching CheckpointStore's load order). Never creates the directory,
+/// never truncates or writes -- safe to call concurrently with one live
+/// writer appending to the same sweep: a mid-append tail record simply is
+/// not there yet. Missing directory => empty map. This is the progress-read
+/// path of `ethsm serve`.
+[[nodiscard]] std::map<std::uint64_t, std::vector<std::byte>>
+read_checkpoint_records(const std::string& directory,
+                        std::uint64_t fingerprint);
 
 // -------------------------------------------------------- sweep-level knobs --
 

@@ -1,0 +1,374 @@
+// ExperimentService contract tests: served payloads bitwise-identical to the
+// CLI rendering for every preset, concurrent-identical-spec dedupe, LRU
+// eviction + checkpoint-backed cold reload, admission 429s, and the JSON
+// endpoints. All suites are named Serve* so `ctest -L serve` selects them.
+
+#include "serve/service.h"
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include <atomic>
+#include <condition_variable>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/presets.h"
+#include "api/render.h"
+#include "api/result.h"
+#include "api/runner.h"
+#include "api/spec.h"
+
+namespace ethsm::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh unique directory under the test temp root. Pid-qualified: ctest
+/// -j runs Serve* in several processes at once (ethsm_tests plus the
+/// serve-labelled filter) and a shared name would cross-contaminate stores.
+std::string temp_dir(const std::string& tag) {
+  static int counter = 0;
+  const fs::path dir =
+      fs::path(::testing::TempDir()) /
+      ("ethsm_serve_" + std::to_string(::getpid()) + "_" + tag + "_" +
+       std::to_string(counter++));
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+HttpRequest post_run_body(std::string spec_text) {
+  HttpRequest request;
+  request.method = "POST";
+  request.path = "/v1/run";
+  request.body = std::move(spec_text);
+  return request;
+}
+
+HttpRequest get(std::string path) {
+  HttpRequest request;
+  request.method = "GET";
+  request.path = std::move(path);
+  return request;
+}
+
+const std::string* source_of(const HttpResponse& response) {
+  for (const auto& [name, value] : response.extra_headers) {
+    if (name == "X-Ethsm-Source") return &value;
+  }
+  return nullptr;
+}
+
+/// A sub-second revenue spec (fig8 grid shrunk to one alpha).
+std::string tiny_spec(double alpha, int runs = 1, int blocks = 2000) {
+  api::SpecEntries entries =
+      api::parse_spec_entries(api::print_spec(api::preset_spec("fig8", true)));
+  api::apply_override(entries, "alphas=" + std::to_string(alpha));
+  api::apply_override(entries, "sim_runs=" + std::to_string(runs));
+  api::apply_override(entries, "sim_blocks=" + std::to_string(blocks));
+  return api::print_spec(api::spec_from_entries(entries));
+}
+
+ServiceConfig config_for(const std::string& dir) {
+  ServiceConfig config;
+  config.checkpoint_dir = dir;
+  return config;
+}
+
+// The core contract: for every registered preset (quick variants, so the
+// sweep is CI-sized) the served payload is byte-for-byte the CLI's
+// `ethsm run <preset> --quick --format json` output. Direct runs go first
+// and share the checkpoint directory, so the served side also exercises the
+// store-backed reload path rather than recomputing.
+TEST(ServeService, ServedPayloadsAreBitwiseIdenticalToCliForEveryPreset) {
+  const std::string dir = temp_dir("identity");
+  ExperimentService service(config_for(dir));
+  for (const api::Preset& preset : api::presets()) {
+    const api::ExperimentSpec spec = api::preset_spec(preset.name, true);
+    api::RunOptions options;
+    options.checkpoint.directory = dir;
+    const std::string direct =
+        api::render_json(api::provenance_normalized(api::run(spec, options)));
+
+    HttpRequest request;
+    request.method = "POST";
+    request.path = "/v1/run";
+    request.query.emplace_back("preset", preset.name);
+    request.query.emplace_back("quick", "1");
+    const HttpResponse served = service.handle(request, "identity-test");
+    ASSERT_EQ(served.status, 200) << preset.name << ": " << served.body;
+    EXPECT_EQ(served.body, direct) << preset.name;
+  }
+}
+
+TEST(ServeService, SetOverridesMatchCliResolution) {
+  const std::string dir = temp_dir("overrides");
+  ExperimentService service(config_for(dir));
+
+  HttpRequest request;
+  request.method = "POST";
+  request.path = "/v1/run";
+  request.query.emplace_back("preset", "fig8");
+  request.query.emplace_back("quick", "1");
+  request.query.emplace_back("set", "alphas=0.3");
+  request.query.emplace_back("set", "sim_blocks=2000");
+  request.query.emplace_back("set", "sim_runs=1");
+  const HttpResponse served = service.handle(request, "t");
+  ASSERT_EQ(served.status, 200) << served.body;
+
+  api::RunOptions options;
+  options.checkpoint.directory = dir;
+  const std::string direct = api::render_json(api::provenance_normalized(
+      api::run(api::parse_spec(tiny_spec(0.3)), options)));
+  EXPECT_EQ(served.body, direct);
+}
+
+TEST(ServeService, RepeatQueriesHitTheCache) {
+  const std::string dir = temp_dir("cache");
+  ExperimentService service(config_for(dir));
+  const std::string spec = tiny_spec(0.31);
+
+  const HttpResponse first = service.handle(post_run_body(spec), "t");
+  ASSERT_EQ(first.status, 200);
+  ASSERT_NE(source_of(first), nullptr);
+  EXPECT_EQ(*source_of(first), "computed");
+
+  const HttpResponse second = service.handle(post_run_body(spec), "t");
+  ASSERT_EQ(second.status, 200);
+  EXPECT_EQ(*source_of(second), "cache");
+  EXPECT_EQ(second.body, first.body);
+  EXPECT_EQ(service.cache().hits(), 1u);
+}
+
+TEST(ServeService, ConcurrentIdenticalSpecsComputeExactlyOnce) {
+  const std::string dir = temp_dir("dedupe");
+  ExperimentService service(config_for(dir));
+  // ~250 ms of simulation: long enough that the followers attach while the
+  // leader is still computing, short enough for a unit test.
+  const std::string spec = tiny_spec(0.3, 4, 200'000);
+
+  constexpr int kClients = 4;
+  std::mutex mutex;
+  std::condition_variable cv;
+  int ready = 0;
+  bool go = false;
+  std::vector<HttpResponse> responses(kClients);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        if (++ready == kClients) cv.notify_all();
+        cv.wait(lock, [&] { return go; });
+      }
+      responses[static_cast<std::size_t>(i)] =
+          service.handle(post_run_body(spec), "client-" + std::to_string(i));
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return ready == kClients; });
+    go = true;
+  }
+  cv.notify_all();
+  for (auto& thread : threads) thread.join();
+
+  int computed = 0;
+  for (const HttpResponse& response : responses) {
+    ASSERT_EQ(response.status, 200) << response.body;
+    EXPECT_EQ(response.body, responses.front().body);
+    ASSERT_NE(source_of(response), nullptr);
+    if (*source_of(response) == "computed") ++computed;
+  }
+  // Dedupe/cache guarantee: however the threads interleave, exactly one of
+  // the identical concurrent requests ran the experiment.
+  EXPECT_EQ(computed, 1);
+}
+
+TEST(ServeService, OverBudgetComputationsGet429WithRetryAfter) {
+  const std::string dir = temp_dir("admission");
+  ServiceConfig config = config_for(dir);
+  config.admission.max_jobs_in_flight = 1;
+  ExperimentService service(config);
+
+  // A ~1 s computation holds the single global slot...
+  std::thread slow([&service] {
+    const HttpResponse response =
+        service.handle(post_run_body(tiny_spec(0.3, 8, 400'000)), "slow");
+    EXPECT_EQ(response.status, 200) << response.body;
+  });
+  // ...observed via the admission gauge, so the 429 below is deterministic.
+  while (service.admission().jobs_in_flight() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  const HttpResponse rejected =
+      service.handle(post_run_body(tiny_spec(0.41)), "other");
+  EXPECT_EQ(rejected.status, 429);
+  bool has_retry_after = false;
+  for (const auto& [name, value] : rejected.extra_headers) {
+    if (name == "Retry-After") has_retry_after = !value.empty();
+  }
+  EXPECT_TRUE(has_retry_after);
+  slow.join();
+
+  // The slot frees with the computation: the same request now succeeds.
+  EXPECT_EQ(service.handle(post_run_body(tiny_spec(0.41)), "other").status,
+            200);
+}
+
+TEST(ServeService, EvictedEntriesReloadFromCheckpointsBitwiseIdentically) {
+  const std::string dir = temp_dir("evict");
+  ServiceConfig config = config_for(dir);
+  config.cache_entries = 1;
+  ExperimentService service(config);
+
+  const std::string spec_a = tiny_spec(0.33);
+  const std::string spec_b = tiny_spec(0.37);
+  const HttpResponse first_a = service.handle(post_run_body(spec_a), "t");
+  ASSERT_EQ(first_a.status, 200);
+  const HttpResponse first_b = service.handle(post_run_body(spec_b), "t");
+  ASSERT_EQ(first_b.status, 200);
+  EXPECT_GE(service.cache().evictions(), 1u);  // capacity 1: a evicted by b
+
+  // Re-query a: a cache miss, but the sweep records are on disk, so this is
+  // a checkpoint reload, not a recompute -- and byte-identical either way.
+  const HttpResponse again_a = service.handle(post_run_body(spec_a), "t");
+  ASSERT_EQ(again_a.status, 200);
+  EXPECT_EQ(*source_of(again_a), "computed");
+  EXPECT_EQ(again_a.body, first_a.body);
+
+  // A fresh daemon on the same checkpoint directory serves the same bytes:
+  // restart persistence comes from the store, not the in-memory cache.
+  ExperimentService reborn(config_for(dir));
+  const HttpResponse cold = reborn.handle(post_run_body(spec_a), "t");
+  ASSERT_EQ(cold.status, 200);
+  EXPECT_EQ(cold.body, first_a.body);
+}
+
+TEST(ServeService, ResultEndpointServesByFingerprint) {
+  const std::string dir = temp_dir("result");
+  ExperimentService service(config_for(dir));
+  const std::string spec = tiny_spec(0.34);
+  const std::uint64_t fingerprint =
+      api::spec_fingerprint(api::parse_spec(spec));
+
+  const HttpResponse computed = service.handle(post_run_body(spec), "t");
+  ASSERT_EQ(computed.status, 200);
+
+  char hex[32];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  const HttpResponse fetched =
+      service.handle(get("/v1/result/" + std::string(hex)), "t");
+  ASSERT_EQ(fetched.status, 200);
+  EXPECT_EQ(fetched.body, computed.body);
+
+  EXPECT_EQ(service.handle(get("/v1/result/0000000000000001"), "t").status,
+            404);
+  EXPECT_EQ(service.handle(get("/v1/result/not-hex"), "t").status, 400);
+}
+
+TEST(ServeService, ProgressReportsRecordsAndCacheState) {
+  const std::string dir = temp_dir("progress");
+  ExperimentService service(config_for(dir));
+  const std::string spec = tiny_spec(0.36);
+  const std::uint64_t fingerprint =
+      api::spec_fingerprint(api::parse_spec(spec));
+  ASSERT_EQ(service.handle(post_run_body(spec), "t").status, 200);
+
+  char hex[32];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  const HttpResponse progress =
+      service.handle(get("/v1/progress/" + std::string(hex)), "t");
+  ASSERT_EQ(progress.status, 200) << progress.body;
+  EXPECT_NE(progress.body.find("\"cached\": true"), std::string::npos);
+  EXPECT_NE(progress.body.find("\"computing\": false"), std::string::npos);
+  // The sweep ran to completion, so its record count is positive.
+  EXPECT_NE(progress.body.find("\"records\": "), std::string::npos);
+  EXPECT_EQ(progress.body.find("\"records\": 0"), std::string::npos);
+
+  EXPECT_EQ(service.handle(get("/v1/progress/0000000000000002"), "t").status,
+            404);
+}
+
+TEST(ServeService, PresetsEndpointMatchesTheRegistryRendering) {
+  ExperimentService service(config_for(temp_dir("presets")));
+  const HttpResponse response = service.handle(get("/v1/presets"), "t");
+  ASSERT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, api::render_presets_json());
+}
+
+TEST(ServeService, StatusReportsCountersAndGauges) {
+  ExperimentService service(config_for(temp_dir("status")));
+  ASSERT_EQ(service.handle(post_run_body(tiny_spec(0.38)), "t").status, 200);
+  const HttpResponse status = service.handle(get("/v1/status"), "t");
+  ASSERT_EQ(status.status, 200);
+  for (const char* key :
+       {"\"uptime_seconds\"", "\"requests\"", "\"cache\"", "\"jobs\"",
+        "\"admission\"", "\"queue_depth\"", "\"hits\"", "\"in_flight\""}) {
+    EXPECT_NE(status.body.find(key), std::string::npos) << key;
+  }
+  EXPECT_NE(status.body.find("\"run\": 1"), std::string::npos);
+  EXPECT_NE(status.body.find("\"computed\": 1"), std::string::npos);
+}
+
+TEST(ServeService, MalformedRequestsGet4xxNever5xx) {
+  ExperimentService service(config_for(temp_dir("errors")));
+  // No spec at all.
+  EXPECT_EQ(service.handle(post_run_body(""), "t").status, 400);
+  // Body and preset together.
+  HttpRequest both = post_run_body("kind = reward_table\n");
+  both.query.emplace_back("preset", "fig8");
+  EXPECT_EQ(service.handle(both, "t").status, 400);
+  // Unknown preset.
+  HttpRequest unknown;
+  unknown.method = "POST";
+  unknown.path = "/v1/run";
+  unknown.query.emplace_back("preset", "nope");
+  EXPECT_EQ(service.handle(unknown, "t").status, 400);
+  // Garbage spec text and garbage overrides.
+  EXPECT_EQ(service.handle(post_run_body("kind = nope\n"), "t").status, 400);
+  HttpRequest bad_set = post_run_body("");
+  bad_set.query.emplace_back("preset", "fig8");
+  bad_set.query.emplace_back("set", "no_such_key=1");
+  EXPECT_EQ(service.handle(bad_set, "t").status, 400);
+  // Unknown endpoint and wrong methods.
+  EXPECT_EQ(service.handle(get("/v1/nope"), "t").status, 404);
+  EXPECT_EQ(service.handle(get("/v1/run"), "t").status, 405);
+  HttpRequest post_status;
+  post_status.method = "POST";
+  post_status.path = "/v1/status";
+  EXPECT_EQ(service.handle(post_status, "t").status, 405);
+}
+
+TEST(ServeService, FailuresAreNotCached) {
+  // A spec that parses but cannot run: revenue with an empty series list is
+  // the simplest runtime failure... if no such failure exists, skip. Use a
+  // fingerprint probe instead: errors must not enter the cache.
+  ExperimentService service(config_for(temp_dir("failures")));
+  const std::size_t before = service.cache().size();
+  EXPECT_EQ(service.handle(post_run_body("kind = nope\n"), "t").status, 400);
+  EXPECT_EQ(service.cache().size(), before);
+}
+
+TEST(ServeServiceFingerprint, ParsesHexWithAndWithoutPrefix) {
+  EXPECT_EQ(ExperimentService::parse_fingerprint("00000000000000ff"), 0xffu);
+  EXPECT_EQ(ExperimentService::parse_fingerprint("0xff"), 0xffu);
+  EXPECT_EQ(ExperimentService::parse_fingerprint("FF"), 0xffu);
+  EXPECT_FALSE(ExperimentService::parse_fingerprint("").has_value());
+  EXPECT_FALSE(ExperimentService::parse_fingerprint("0x").has_value());
+  EXPECT_FALSE(
+      ExperimentService::parse_fingerprint("12345678901234567").has_value());
+  EXPECT_FALSE(ExperimentService::parse_fingerprint("xyz").has_value());
+}
+
+}  // namespace
+}  // namespace ethsm::serve

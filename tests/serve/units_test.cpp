@@ -1,0 +1,185 @@
+// Unit contracts of the serve building blocks: ResultCache LRU semantics,
+// InflightTable dedupe/leadership, AdmissionController budgets, and the
+// BlockingQueue shutdown behavior. All suites are named Serve* so
+// `ctest -L serve` selects them.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/admission.h"
+#include "serve/blocking_queue.h"
+#include "serve/inflight.h"
+#include "serve/result_cache.h"
+
+namespace ethsm::serve {
+namespace {
+
+TEST(ServeCache, GetAfterPutRoundTrips) {
+  ResultCache cache(4);
+  EXPECT_EQ(cache.get(1), std::nullopt);
+  cache.put(1, "one");
+  EXPECT_EQ(cache.get(1), "one");
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(ServeCache, EvictsLeastRecentlyUsed) {
+  ResultCache cache(2);
+  cache.put(1, "one");
+  cache.put(2, "two");
+  ASSERT_EQ(cache.get(1), "one");  // bump 1: now 2 is the LRU entry
+  cache.put(3, "three");           // evicts 2
+  EXPECT_EQ(cache.get(2), std::nullopt);
+  EXPECT_EQ(cache.get(1), "one");
+  EXPECT_EQ(cache.get(3), "three");
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ServeCache, PutRefreshesExistingEntry) {
+  ResultCache cache(2);
+  cache.put(1, "one");
+  cache.put(2, "two");
+  cache.put(1, "uno");  // refresh, not insert: nothing evicted
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_EQ(cache.get(1), "uno");
+  EXPECT_EQ(cache.get(2), "two");
+}
+
+TEST(ServeCache, ContainsDoesNotSkewAccounting) {
+  ResultCache cache(2);
+  cache.put(1, "one");
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(9));
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(ServeCache, CapacityClampsToOne) {
+  ResultCache cache(0);
+  EXPECT_EQ(cache.capacity(), 1u);
+  cache.put(1, "one");
+  cache.put(2, "two");
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ServeInflight, SecondBeginAttachesAsFollower) {
+  InflightTable table;
+  const auto leader = table.begin(7);
+  EXPECT_TRUE(leader.leader);
+  const auto follower = table.begin(7);
+  EXPECT_FALSE(follower.leader);
+  EXPECT_EQ(leader.job.get(), follower.job.get());
+  EXPECT_EQ(table.depth(), 1u);
+  EXPECT_TRUE(table.running(7));
+  EXPECT_EQ(table.attached(), 1u);
+
+  table.finish(7, leader.job, InflightTable::JobState::done, "payload");
+  EXPECT_EQ(table.depth(), 0u);
+  EXPECT_FALSE(table.running(7));
+  const auto outcome = InflightTable::wait(follower.job);
+  EXPECT_EQ(outcome.state, InflightTable::JobState::done);
+  EXPECT_EQ(outcome.payload, "payload");
+}
+
+TEST(ServeInflight, FollowersBlockedInWaitGetTheOutcome) {
+  InflightTable table;
+  const auto leader = table.begin(7);
+  std::vector<std::thread> followers;
+  std::vector<InflightTable::Outcome> outcomes(4);
+  for (int i = 0; i < 4; ++i) {
+    followers.emplace_back([&table, &outcomes, i] {
+      const auto ticket = table.begin(7);
+      EXPECT_FALSE(ticket.leader);
+      outcomes[static_cast<std::size_t>(i)] = InflightTable::wait(ticket.job);
+    });
+  }
+  // Wait until every follower has attached (a begin() after finish() would
+  // start a fresh job and the follower would be its leader), then finish.
+  // Followers may or may not have reached wait() yet; finish must wake both
+  // the already-blocked and the not-yet-blocked ones.
+  while (table.attached() < 4) std::this_thread::yield();
+  table.finish(7, leader.job, InflightTable::JobState::failed, "boom");
+  for (auto& thread : followers) thread.join();
+  for (const auto& outcome : outcomes) {
+    EXPECT_EQ(outcome.state, InflightTable::JobState::failed);
+    EXPECT_EQ(outcome.payload, "boom");
+  }
+}
+
+TEST(ServeInflight, RejectedLeaderPropagatesToFollowers) {
+  InflightTable table;
+  const auto leader = table.begin(7);
+  const auto follower = table.begin(7);
+  table.finish(7, leader.job, InflightTable::JobState::rejected, {});
+  const auto outcome = InflightTable::wait(follower.job);
+  EXPECT_EQ(outcome.state, InflightTable::JobState::rejected);
+}
+
+TEST(ServeInflight, FinishedFingerprintStartsFresh) {
+  InflightTable table;
+  const auto first = table.begin(7);
+  table.finish(7, first.job, InflightTable::JobState::done, "one");
+  const auto second = table.begin(7);
+  EXPECT_TRUE(second.leader);  // new job, not the finished one
+  table.finish(7, second.job, InflightTable::JobState::done, "two");
+}
+
+TEST(ServeAdmission, EnforcesGlobalBudget) {
+  AdmissionController admission({2, 2});
+  EXPECT_TRUE(admission.try_acquire("a"));
+  EXPECT_TRUE(admission.try_acquire("b"));
+  EXPECT_FALSE(admission.try_acquire("c"));
+  EXPECT_EQ(admission.rejected(), 1u);
+  admission.release("a");
+  EXPECT_TRUE(admission.try_acquire("c"));
+  EXPECT_EQ(admission.jobs_in_flight(), 2u);
+}
+
+TEST(ServeAdmission, EnforcesPerClientBudget) {
+  AdmissionController admission({8, 1});
+  EXPECT_TRUE(admission.try_acquire("a"));
+  EXPECT_FALSE(admission.try_acquire("a"));  // over the per-client budget
+  EXPECT_TRUE(admission.try_acquire("b"));   // other clients unaffected
+  admission.release("a");
+  EXPECT_TRUE(admission.try_acquire("a"));
+}
+
+TEST(ServeQueue, PushPopRoundTripsInOrder) {
+  BlockingQueue<int> queue(4);
+  ASSERT_TRUE(queue.push_wait(1, std::chrono::milliseconds(10)));
+  ASSERT_TRUE(queue.push_wait(2, std::chrono::milliseconds(10)));
+  EXPECT_EQ(queue.depth(), 2u);
+  EXPECT_EQ(queue.pop(), 1);
+  EXPECT_EQ(queue.pop(), 2);
+}
+
+TEST(ServeQueue, FullQueueTimesOutThePush) {
+  BlockingQueue<int> queue(1);
+  ASSERT_TRUE(queue.push_wait(1, std::chrono::milliseconds(5)));
+  EXPECT_FALSE(queue.push_wait(2, std::chrono::milliseconds(5)));
+}
+
+TEST(ServeQueue, CloseDrainsThenUnblocksPop) {
+  BlockingQueue<int> queue(4);
+  ASSERT_TRUE(queue.push_wait(1, std::chrono::milliseconds(5)));
+  queue.close();
+  EXPECT_FALSE(queue.push_wait(2, std::chrono::milliseconds(5)));
+  EXPECT_EQ(queue.pop(), 1);              // pending item still drains
+  EXPECT_EQ(queue.pop(), std::nullopt);   // then pops report shutdown
+}
+
+TEST(ServeQueue, CloseWakesABlockedPop) {
+  BlockingQueue<int> queue(4);
+  std::thread popper([&queue] { EXPECT_EQ(queue.pop(), std::nullopt); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.close();
+  popper.join();
+}
+
+}  // namespace
+}  // namespace ethsm::serve

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Load driver for `ethsm serve`: replays preset runs and reports latency
+percentiles plus the cache hit rate measured from /v1/status deltas.
+
+Stdlib only. Typical use (and what CI's serve-smoke job runs):
+
+    ethsm serve --port 0 --port-file /tmp/ethsm.port --checkpoint-dir /tmp/ck &
+    python3 tools/replay_load.py --port "$(cat /tmp/ethsm.port)" \
+        --quick --repeat 3 --concurrency 4 --min-warm-hit-rate 0.99
+
+The driver fetches /v1/presets, runs one cold pass (every preset computed
+once, filling the cache), then a concurrent warm pass that should be served
+almost entirely from cache. It prints p50/p95/p99 latency for both passes
+and exits nonzero when --min-warm-hit-rate is violated or any request fails.
+"""
+
+import argparse
+import concurrent.futures
+import json
+import statistics
+import sys
+import time
+import urllib.error
+import urllib.request
+
+
+def fetch_json(base, path, method="GET", timeout=300.0):
+    request = urllib.request.Request(base + path, method=method)
+    started = time.monotonic()
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        body = response.read()
+        source = response.headers.get("X-Ethsm-Source", "")
+    elapsed = time.monotonic() - started
+    return json.loads(body), elapsed, source
+
+
+def percentile(samples, q):
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def describe(label, samples):
+    if not samples:
+        print(f"  {label}: no samples")
+        return
+    print(
+        f"  {label}: n={len(samples)}"
+        f" p50={percentile(samples, 0.50) * 1000:.1f}ms"
+        f" p95={percentile(samples, 0.95) * 1000:.1f}ms"
+        f" p99={percentile(samples, 0.99) * 1000:.1f}ms"
+        f" mean={statistics.fmean(samples) * 1000:.1f}ms"
+    )
+
+
+def run_pass(base, paths, concurrency):
+    """Issues one POST /v1/run per path; returns (latencies, sources)."""
+    latencies, sources, errors = [], [], []
+
+    def one(path):
+        try:
+            _, elapsed, source = fetch_json(base, path, method="POST")
+            return elapsed, source, None
+        except (urllib.error.URLError, OSError, ValueError) as error:
+            return 0.0, "", f"{path}: {error}"
+
+    with concurrent.futures.ThreadPoolExecutor(max_workers=concurrency) as pool:
+        for elapsed, source, error in pool.map(one, paths):
+            if error:
+                errors.append(error)
+            else:
+                latencies.append(elapsed)
+                sources.append(source)
+    return latencies, sources, errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--quick", action="store_true",
+                        help="run every preset with quick=1 (CI-sized)")
+    parser.add_argument("--presets", default="",
+                        help="comma-separated subset (default: all served)")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="warm-pass replays per preset (default 3)")
+    parser.add_argument("--concurrency", type=int, default=4)
+    parser.add_argument("--min-warm-hit-rate", type=float, default=None,
+                        help="exit 1 when the warm pass hit rate is below this")
+    args = parser.parse_args()
+
+    base = f"http://{args.host}:{args.port}"
+    listing, _, _ = fetch_json(base, "/v1/presets")
+    names = [preset["name"] for preset in listing["presets"]]
+    if args.presets:
+        wanted = args.presets.split(",")
+        unknown = [name for name in wanted if name not in names]
+        if unknown:
+            print(f"unknown presets: {', '.join(unknown)}", file=sys.stderr)
+            return 1
+        names = wanted
+    quick = "&quick=1" if args.quick else ""
+    paths = [f"/v1/run?preset={name}{quick}" for name in names]
+
+    failures = []
+
+    print(f"replay_load: {len(names)} presets against {base}")
+    cold_started = time.monotonic()
+    cold_latency, cold_sources, errors = run_pass(base, paths, args.concurrency)
+    cold_elapsed = time.monotonic() - cold_started
+    failures.extend(errors)
+    describe("cold", cold_latency)
+
+    status_before, _, _ = fetch_json(base, "/v1/status")
+    warm_paths = paths * max(1, args.repeat)
+    warm_started = time.monotonic()
+    warm_latency, warm_sources, errors = run_pass(base, warm_paths,
+                                                  args.concurrency)
+    warm_elapsed = time.monotonic() - warm_started
+    failures.extend(errors)
+    status_after, _, _ = fetch_json(base, "/v1/status")
+    describe("warm", warm_latency)
+
+    hit_delta = status_after["cache"]["hits"] - status_before["cache"]["hits"]
+    miss_delta = (status_after["cache"]["misses"]
+                  - status_before["cache"]["misses"])
+    lookups = hit_delta + miss_delta
+    hit_rate = hit_delta / lookups if lookups else 0.0
+    from_cache = sum(1 for source in warm_sources if source == "cache")
+
+    cold_rps = len(cold_latency) / cold_elapsed if cold_elapsed else 0.0
+    warm_rps = len(warm_latency) / warm_elapsed if warm_elapsed else 0.0
+    print(f"  cold pass: {cold_rps:.1f} req/s"
+          f" ({sum(1 for s in cold_sources if s == 'computed')} computed)")
+    print(f"  warm pass: {warm_rps:.1f} req/s"
+          f" ({from_cache}/{len(warm_sources)} from cache,"
+          f" status-delta hit rate {hit_rate:.3f})")
+
+    if failures:
+        for failure in failures:
+            print(f"  FAILED {failure}", file=sys.stderr)
+        return 1
+    if args.min_warm_hit_rate is not None and hit_rate < args.min_warm_hit_rate:
+        print(f"  FAILED warm hit rate {hit_rate:.3f}"
+              f" < required {args.min_warm_hit_rate:.3f}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
