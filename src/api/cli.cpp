@@ -1,5 +1,6 @@
 #include "api/cli.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <csignal>
@@ -13,6 +14,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <string_view>
 #include <vector>
 
@@ -21,6 +23,9 @@
 #include "api/runner.h"
 #include "api/spec.h"
 #include "api/study.h"
+#include "orchestrate/orchestrate.h"
+#include "orchestrate/process.h"
+#include "orchestrate/transport.h"
 #include "serve/server.h"
 #include "support/checkpoint.h"
 #include "support/json.h"
@@ -53,7 +58,13 @@ constexpr const char* kUsage =
     "  ethsm serve [--port N] [--host ADDR] [--checkpoint-dir DIR]\n"
     "              [--workers N] [--cache-entries N]\n"
     "              [--max-inflight N] [--client-jobs N]\n"
-    "              [--port-file FILE] [--quiet]\n";
+    "              [--port-file FILE] [--quiet]\n"
+    "  ethsm orchestrate <preset> | --spec FILE | --study FILE | --all\n"
+    "              [--quick] [--set key=value ...]\n"
+    "              [--workers N | --hosts a,b,c] [--units M] [--retry N]\n"
+    "              [--checkpoint-dir DIR] [--format table|csv|json]\n"
+    "              [--out PATH] [--worker-threads N]\n"
+    "              [--remote-binary PATH] [--remote-root DIR]\n";
 
 [[noreturn]] void usage_fail(const std::string& message) {
   std::fprintf(stderr, "error: %s\n%s", message.c_str(), kUsage);
@@ -264,7 +275,8 @@ RunArgs parse_run_args(int argc, char** argv, int first) {
   }
   if (!args.checkpoint.shard.is_whole_sweep() &&
       args.checkpoint.directory.empty()) {
-    usage_fail("--shard requires --checkpoint-dir (shards merge through disk)");
+    usage_fail("--shard requires --checkpoint-dir (shards merge through disk; "
+               "without it this shard's work would be discarded)");
   }
   if (!args.cell_shard.is_whole_sweep() && !args.request.is_study()) {
     usage_fail("--cell-shard applies to study runs (--study FILE or --all); "
@@ -753,6 +765,222 @@ int cmd_serve(int argc, char** argv, int start) {
   return 0;
 }
 
+// ------------------------------------------------------------ orchestrate --
+
+/// `ethsm orchestrate`: distribute a preset/spec/study across worker
+/// processes (local or ssh), sync every worker's checkpoint records back
+/// into one shared store, then run the ordinary in-process merge pass so the
+/// final artefact is bitwise-identical to a single-process run. See
+/// src/orchestrate/orchestrate.h for the coordinator contract and
+/// docs/OPERATIONS.md for deployment recipes.
+int cmd_orchestrate(int argc, char** argv, int first) {
+  SpecRequest request;
+  OutputFormat format = OutputFormat::table;
+  bool format_set = false;
+  std::string out_file;
+  std::string checkpoint_dir = "ethsm-checkpoints";
+  std::size_t workers = 2;
+  bool workers_set = false;
+  std::vector<std::string> hosts;
+  std::size_t units = 0;
+  int retry = 2;
+  std::size_t worker_threads = 0;
+  std::string remote_binary = "ethsm";
+  std::string remote_root = "/tmp/ethsm-orchestrate";
+
+  for (int i = first; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) usage_fail(std::string(what) + " needs a value");
+      return argv[++i];
+    };
+    auto next_count = [&](const char* what, bool allow_zero) -> std::size_t {
+      const char* text = next(what);
+      char* end = nullptr;
+      const unsigned long long value = std::strtoull(text, &end, 10);
+      if (*text == '\0' || *end != '\0' || *text == '-' ||
+          (!allow_zero && value == 0)) {
+        usage_fail(std::string(what) + " wants a positive integer");
+      }
+      return static_cast<std::size_t>(value);
+    };
+    if (arg == "--quick") {
+      request.quick = true;
+    } else if (arg == "--spec") {
+      request.spec_file = next("--spec");
+    } else if (arg == "--study") {
+      request.study_file = next("--study");
+    } else if (arg == "--all") {
+      request.all = true;
+    } else if (arg == "--set") {
+      request.overrides.emplace_back(next("--set"));
+    } else if (arg == "--format") {
+      format = output_format_from_string(next("--format"));
+      format_set = true;
+    } else if (arg == "--out") {
+      out_file = next("--out");
+    } else if (arg == "--checkpoint-dir") {
+      checkpoint_dir = next("--checkpoint-dir");
+    } else if (arg == "--workers") {
+      workers = next_count("--workers", false);
+      workers_set = true;
+    } else if (arg == "--hosts") {
+      // Comma-separated host list, one worker slot per host.
+      const std::string list = next("--hosts");
+      std::size_t start = 0;
+      while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        const std::string host =
+            list.substr(start, comma == std::string::npos ? std::string::npos
+                                                          : comma - start);
+        if (!host.empty()) hosts.push_back(host);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+      if (hosts.empty()) usage_fail("--hosts wants a comma-separated list");
+    } else if (arg == "--units") {
+      units = next_count("--units", false);
+    } else if (arg == "--retry") {
+      const char* text = next("--retry");
+      char* end = nullptr;
+      const long value = std::strtol(text, &end, 10);
+      if (*text == '\0' || *end != '\0' || value < 0 || value > 100) {
+        usage_fail("malformed --retry (want an integer in [0, 100])");
+      }
+      retry = static_cast<int>(value);
+    } else if (arg == "--worker-threads") {
+      worker_threads = next_count("--worker-threads", false);
+    } else if (arg == "--remote-binary") {
+      remote_binary = next("--remote-binary");
+    } else if (arg == "--remote-root") {
+      remote_root = next("--remote-root");
+    } else if (!arg.empty() && arg.front() == '-') {
+      usage_fail("unknown orchestrate argument " + std::string(arg));
+    } else if (request.preset.empty() && request.spec_file.empty()) {
+      request.preset = std::string(arg);
+    } else {
+      usage_fail("unexpected argument " + std::string(arg));
+    }
+  }
+
+  const int sources = (request.preset.empty() ? 0 : 1) +
+                      (request.spec_file.empty() ? 0 : 1) +
+                      (request.study_file.empty() ? 0 : 1) +
+                      (request.all ? 1 : 0);
+  if (sources == 0) {
+    usage_fail("orchestrate needs a preset name, --spec FILE, --study FILE "
+               "or --all");
+  }
+  if (sources > 1) {
+    usage_fail("pick exactly one of <preset>, --spec, --study and --all");
+  }
+  if (request.is_study() && format_set) {
+    usage_fail("--format does not apply to study runs: the results tree "
+               "always carries table.txt + data.csv + data.json per spec");
+  }
+  if (workers_set && !hosts.empty()) {
+    usage_fail("pick --workers N (local) or --hosts a,b,c (ssh), not both");
+  }
+
+  const std::string work_dir = checkpoint_dir + "/orchestrate";
+  orchestrate::LocalTransport local([&] {
+    orchestrate::LocalTransportConfig config;
+    config.workers = workers;
+    config.work_root = work_dir + "/units";
+    config.binary = orchestrate::self_executable_path("ethsm");
+    // Local workers split the machine instead of each grabbing every core.
+    config.threads_per_worker =
+        worker_threads > 0
+            ? worker_threads
+            : std::max<std::size_t>(
+                  1, std::thread::hardware_concurrency() / workers);
+    return config;
+  }());
+  orchestrate::SshTransport ssh([&] {
+    orchestrate::SshTransportConfig config;
+    config.hosts = hosts;
+    config.remote_binary = remote_binary;
+    config.remote_root = remote_root;
+    config.threads_per_worker = worker_threads;
+    return config;
+  }());
+  orchestrate::WorkerTransport& transport =
+      hosts.empty() ? static_cast<orchestrate::WorkerTransport&>(local)
+                    : static_cast<orchestrate::WorkerTransport&>(ssh);
+
+  orchestrate::OrchestrateConfig config;
+  config.transport = &transport;
+  config.study = request.is_study();
+  // Finer units than slots so a dead worker's queue re-balances across the
+  // survivors instead of serializing behind one retry.
+  config.units = units > 0 ? units : 2 * transport.slots();
+  config.coordinator_dir = checkpoint_dir;
+  config.work_dir = work_dir;
+  config.retry.attempts = retry + 1;
+  config.retry.initial_backoff_ms = 250.0;
+  config.kill = orchestrate::kill_plan_from_env();
+  config.status = [](const std::string& line) {
+    std::cout << "[orchestrate] " << line << "\n" << std::flush;
+  };
+
+  config.base_args.push_back("run");
+  if (!request.preset.empty()) config.base_args.push_back(request.preset);
+  if (!request.spec_file.empty()) {
+    config.base_args.push_back("--spec");
+    config.base_args.push_back(request.spec_file);
+  }
+  if (!request.study_file.empty()) {
+    config.base_args.push_back("--study");
+    config.base_args.push_back(request.study_file);
+  }
+  if (request.all) config.base_args.push_back("--all");
+  if (request.quick) config.base_args.push_back("--quick");
+  for (const std::string& assignment : request.overrides) {
+    config.base_args.push_back("--set");
+    config.base_args.push_back(assignment);
+  }
+
+  std::cout << "== orchestrate: " << config.units << " shard unit(s) over "
+            << transport.slots() << " "
+            << (hosts.empty() ? "local worker(s)" : "ssh host(s)")
+            << " (checkpoint dir: " << checkpoint_dir << ") ==\n";
+
+  const orchestrate::OrchestrateOutcome outcome = orchestrate::run_orchestrate(
+      config);  // import stores die here; the merge pass below may write
+  orchestrate::write_orchestrate_manifest(
+      outcome, checkpoint_dir + "/orchestrate-manifest.json");
+
+  // Ordinary single-process merge pass over the shared store: loads every
+  // imported record, computes any stragglers, renders the artefact exactly
+  // as a fresh run would. When units failed permanently the merge is held
+  // to loaded records only (max_new_jobs = 0), so partial progress persists
+  // without the coordinator silently recomputing a dead shard's work.
+  RunArgs merge;
+  merge.request = request;
+  merge.format = format;
+  merge.format_set = format_set;
+  merge.out_file = out_file;
+  merge.checkpoint.directory = checkpoint_dir;
+  if (!outcome.ok()) merge.checkpoint.max_new_jobs = 0;
+  const int merge_rc = cmd_run(merge);
+
+  if (!outcome.ok()) {
+    support::TextTable failures({"unit", "shard", "worker", "attempts",
+                                 "error"});
+    for (const orchestrate::UnitOutcome& unit : outcome.units) {
+      if (unit.ok) continue;
+      failures.add_row({std::to_string(unit.unit), unit.shard, unit.worker,
+                        std::to_string(unit.attempts), unit.error});
+    }
+    std::cout << "\nFailed units (status=failed in orchestrate-manifest.json; "
+                 "their checkpoint records are retained -- re-run to retry "
+                 "just the missing shards):\n";
+    failures.print(std::cout);
+    return 1;
+  }
+  return merge_rc;
+}
+
 int dispatch(int argc, char** argv) {
   if (argc < 2) usage_fail("missing subcommand");
   const std::string_view command = argv[1];
@@ -764,6 +992,7 @@ int dispatch(int argc, char** argv) {
     return cmd_checkpoint_stats(argc, argv, 2);
   }
   if (command == "serve") return cmd_serve(argc, argv, 2);
+  if (command == "orchestrate") return cmd_orchestrate(argc, argv, 2);
   if (command == "--help" || command == "-h" || command == "help") {
     std::cout << kUsage;
     return 0;

@@ -462,6 +462,10 @@ void write_study_results(const StudyResult& study,
     if (entry.failed) {
       manifest << ",\n     \"error\": \"" << json_escape(entry.error)
                << "\", \"attempts\": " << entry.attempts;
+    } else if (!entry.skipped) {
+      // Deterministic job count of the cell's sweeps (same value fresh or
+      // resumed): what `ethsm orchestrate` and shard planners size units by.
+      manifest << ", \"jobs\": " << entry.result.outcome.jobs_total;
     }
     if (!study.cell_shard.is_whole_sweep()) {
       manifest << ", \"cell_owner\": " << entry.cell_owner

@@ -1,0 +1,122 @@
+#include "orchestrate/process.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+namespace ethsm::orchestrate {
+
+std::string ExitStatus::describe() const {
+  if (exited) {
+    if (code == 0) return "ok";
+    if (code == 127) return "exit code 127 (binary not executable?)";
+    return "exit code " + std::to_string(code);
+  }
+  return "killed by signal " + std::to_string(signal);
+}
+
+pid_t spawn_process(const std::vector<std::string>& argv,
+                    const std::string& log_path) {
+  if (argv.empty()) throw std::runtime_error("spawn_process: empty argv");
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& arg : argv) {
+    cargv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  cargv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    throw std::runtime_error(std::string("fork failed: ") +
+                             std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child. The coordinator may own a live thread pool, so only
+    // async-signal-safe calls happen between fork and exec.
+    const int devnull = ::open("/dev/null", O_RDONLY);
+    if (devnull >= 0) {
+      ::dup2(devnull, STDIN_FILENO);
+      if (devnull > STDERR_FILENO) ::close(devnull);
+    }
+    if (!log_path.empty()) {
+      const int log =
+          ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+      if (log >= 0) {
+        ::dup2(log, STDOUT_FILENO);
+        ::dup2(log, STDERR_FILENO);
+        if (log > STDERR_FILENO) ::close(log);
+      }
+    }
+    ::execvp(cargv[0], cargv.data());
+    ::_exit(127);  // exec failed; 127 matches the shell's convention
+  }
+  return pid;
+}
+
+std::optional<ExitStatus> try_wait(pid_t pid) {
+  int status = 0;
+  const pid_t r = ::waitpid(pid, &status, WNOHANG);
+  if (r == 0) return std::nullopt;  // still running
+  ExitStatus result;
+  if (r < 0) {
+    // ECHILD or similar: the pid is gone and unreportable. Calling it a
+    // failure keeps the retry machinery moving instead of wedging the loop.
+    result.exited = true;
+    result.code = 127;
+    return result;
+  }
+  if (WIFEXITED(status)) {
+    result.exited = true;
+    result.code = WEXITSTATUS(status);
+    return result;
+  }
+  if (WIFSIGNALED(status)) {
+    result.exited = false;
+    result.signal = WTERMSIG(status);
+    return result;
+  }
+  return std::nullopt;  // stopped/continued: not terminal, keep polling
+}
+
+void kill_process(pid_t pid) {
+  if (pid > 0) ::kill(pid, SIGKILL);
+}
+
+ExitStatus run_and_wait(const std::vector<std::string>& argv,
+                        const std::string& log_path) {
+  const pid_t pid = spawn_process(argv, log_path);
+  int status = 0;
+  pid_t r;
+  do {
+    r = ::waitpid(pid, &status, 0);
+  } while (r < 0 && errno == EINTR);
+  ExitStatus result;
+  if (r < 0) {
+    result.exited = true;
+    result.code = 127;
+    return result;
+  }
+  if (WIFEXITED(status)) {
+    result.exited = true;
+    result.code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    result.signal = WTERMSIG(status);
+  }
+  return result;
+}
+
+std::string self_executable_path(const std::string& fallback) {
+  char buffer[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buffer, sizeof buffer - 1);
+  if (n <= 0) return fallback;
+  buffer[n] = '\0';
+  return buffer;
+}
+
+}  // namespace ethsm::orchestrate

@@ -1,0 +1,57 @@
+// Minimal POSIX subprocess runner for the sweep coordinator
+// (src/orchestrate/): fork/exec with stdout+stderr redirected to a per-unit
+// log file, non-blocking reaping, and SIGKILL for dead-worker tests. This is
+// deliberately not a general process library -- the coordinator only ever
+// launches `ethsm ...` (directly or through ssh/scp) and needs exactly
+// spawn / poll / kill / run-and-wait.
+
+#ifndef ETHSM_ORCHESTRATE_PROCESS_H
+#define ETHSM_ORCHESTRATE_PROCESS_H
+
+#include <sys/types.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ethsm::orchestrate {
+
+/// How a child ended: a normal exit (code) or a fatal signal.
+struct ExitStatus {
+  bool exited = false;  ///< true: exit(code); false: killed by `signal`
+  int code = 0;
+  int signal = 0;
+
+  [[nodiscard]] bool ok() const noexcept { return exited && code == 0; }
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Launches `argv` (PATH-resolved) with stdin from /dev/null and stdout +
+/// stderr appended to `log_path` (empty: inherit the parent's streams).
+/// Throws std::runtime_error when the fork itself fails; an unexecutable
+/// binary surfaces later as exit code 127.
+[[nodiscard]] pid_t spawn_process(const std::vector<std::string>& argv,
+                                  const std::string& log_path);
+
+/// Non-blocking reap: the child's status once it has ended, std::nullopt
+/// while it is still running. A pid that is not our child (already reaped)
+/// reports as exit code 127 rather than blocking forever.
+[[nodiscard]] std::optional<ExitStatus> try_wait(pid_t pid);
+
+/// Best-effort SIGKILL (the dead-worker path and its test seam).
+void kill_process(pid_t pid);
+
+/// spawn_process + blocking wait; used for synchronous transport helpers
+/// (scp sync-back, remote cleanup).
+[[nodiscard]] ExitStatus run_and_wait(const std::vector<std::string>& argv,
+                                      const std::string& log_path);
+
+/// Absolute path of the running executable (/proc/self/exe), falling back to
+/// `fallback` where that link is unavailable. The coordinator launches local
+/// workers as the very binary it runs as, so an orchestrated run never mixes
+/// versions.
+[[nodiscard]] std::string self_executable_path(const std::string& fallback);
+
+}  // namespace ethsm::orchestrate
+
+#endif  // ETHSM_ORCHESTRATE_PROCESS_H

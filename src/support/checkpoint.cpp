@@ -366,7 +366,29 @@ const std::vector<std::byte>& CheckpointStore::payload(
 void CheckpointStore::append(std::uint64_t job,
                              const std::vector<std::byte>& payload) {
   const std::lock_guard<std::mutex> lock(append_mutex_);
+  append_locked(job, payload);
+}
 
+std::size_t CheckpointStore::import_directory(
+    const std::string& source_directory) {
+  // The source walk is the read-only merge `ethsm serve` uses for progress
+  // reads: foreign fingerprints are skipped at the header, a torn tail is
+  // simply absent. Appends then go through this store's ordinary single-
+  // buffered-write path, so readers of *this* directory keep their
+  // valid-prefix guarantee while an orchestrator imports worker results.
+  std::size_t imported = 0;
+  for (const auto& [job, payload] :
+       read_checkpoint_records(source_directory, fingerprint_)) {
+    const std::lock_guard<std::mutex> lock(append_mutex_);
+    if (records_.count(job) != 0) continue;  // idempotent re-sync
+    append_locked(job, payload);
+    ++imported;
+  }
+  return imported;
+}
+
+void CheckpointStore::append_locked(std::uint64_t job,
+                                    const std::vector<std::byte>& payload) {
   const std::string path = own_file_path();
   const bool fresh = !fs::exists(path) || fs::file_size(path) == 0;
   // Opening retries with backoff (transient EMFILE/network-storage blips);
@@ -492,7 +514,8 @@ SweepCli parse_sweep_cli(int argc, char** argv) {
   }
   if (!cli.checkpoint.shard.is_whole_sweep() &&
       cli.checkpoint.directory.empty()) {
-    cli_fail("--shard requires --checkpoint-dir (shards merge through disk)");
+    cli_fail("--shard requires --checkpoint-dir (shards merge through disk; "
+             "without it this shard's work would be discarded)");
   }
   return cli;
 }

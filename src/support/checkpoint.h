@@ -213,6 +213,19 @@ class CheckpointStore {
   /// Persists one job result; overwrites any in-memory copy. Thread-safe.
   void append(std::uint64_t job, const std::vector<std::byte>& payload);
 
+  /// Read-only merge of a foreign checkpoint directory (a worker's private
+  /// store, synced back by `ethsm orchestrate`): every valid record for this
+  /// store's fingerprint found under `source_directory` that this store does
+  /// not already hold is appended to this store's own file. The source is
+  /// never created, truncated or written; files with foreign fingerprints or
+  /// corrupt tails contribute exactly their valid matching prefix (the same
+  /// walk as read_checkpoint_records), so importing from a worker killed
+  /// mid-append recovers everything it completed. Safe while concurrent
+  /// readers watch this store's directory (appends keep the one-writer/
+  /// many-readers contract); idempotent -- re-importing the same source
+  /// appends nothing. Returns the number of records imported. Thread-safe.
+  std::size_t import_directory(const std::string& source_directory);
+
   /// File this process appends to (exposed for tests).
   [[nodiscard]] std::string own_file_path() const;
 
@@ -220,6 +233,9 @@ class CheckpointStore {
   /// Loads one file; returns the byte offset of the end of the last valid
   /// record (0 when the header itself is unusable).
   std::uint64_t load_file(const std::string& path);
+
+  /// The body of append(); the caller must hold append_mutex_.
+  void append_locked(std::uint64_t job, const std::vector<std::byte>& payload);
 
   std::string directory_;
   std::uint64_t fingerprint_;

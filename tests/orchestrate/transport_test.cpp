@@ -1,0 +1,122 @@
+// WorkerTransport unit contract: command/argv construction for both
+// transports (ssh cannot run in CI, so its launch and sync command lines are
+// pinned here), shell quoting for the remote side, and the kill-plan env
+// grammar. Suites are named Orchestrate* so `ctest -L orchestrate` selects
+// them.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "orchestrate/orchestrate.h"
+#include "orchestrate/transport.h"
+
+namespace ethsm::orchestrate {
+namespace {
+
+TEST(OrchestrateTransport, ShellQuotePassesSpecValuesThroughARemoteShell) {
+  EXPECT_EQ(shell_quote("plain"), "'plain'");
+  EXPECT_EQ(shell_quote("a b"), "'a b'");
+  EXPECT_EQ(shell_quote("gamma=0.5"), "'gamma=0.5'");
+  // ' itself must be spliced as close-quote, escaped quote, reopen.
+  EXPECT_EQ(shell_quote("it's"), "'it'\\''s'");
+  EXPECT_EQ(shell_quote(""), "''");
+}
+
+TEST(OrchestrateTransport, LocalCommandRunsTheCoordinatorBinary) {
+  LocalTransportConfig config;
+  config.workers = 3;
+  config.work_root = "/work";
+  config.binary = "/opt/ethsm";
+  LocalTransport transport(config);
+
+  ASSERT_EQ(transport.slots(), 3u);
+  EXPECT_EQ(transport.slot_name(2), "local-2");
+  EXPECT_EQ(transport.unit_checkpoint_dir(5), "/work/unit-5/ckpt");
+  EXPECT_EQ(transport.unit_scratch_dir(5), "/work/unit-5/out");
+
+  const std::vector<std::string> argv =
+      transport.command(1, {"run", "fig10", "--quick"});
+  const std::vector<std::string> expected = {"/opt/ethsm", "run", "fig10",
+                                             "--quick"};
+  EXPECT_EQ(argv, expected);
+}
+
+TEST(OrchestrateTransport, LocalCommandPinsWorkerThreadsThroughEnv) {
+  LocalTransportConfig config;
+  config.workers = 2;
+  config.work_root = "/work";
+  config.binary = "ethsm";
+  config.threads_per_worker = 4;
+  LocalTransport transport(config);
+
+  const std::vector<std::string> argv = transport.command(0, {"run", "fig8"});
+  const std::vector<std::string> expected = {"env", "ETHSM_THREADS=4", "ethsm",
+                                             "run", "fig8"};
+  EXPECT_EQ(argv, expected);
+}
+
+TEST(OrchestrateTransport, LocalFetchIsTheUnitDirectoryItself) {
+  LocalTransportConfig config;
+  config.work_root = "/work";
+  LocalTransport transport(config);
+  EXPECT_EQ(transport.fetch(0, 3, "/staging", ""), "/work/unit-3/ckpt");
+}
+
+TEST(OrchestrateTransport, SshCommandQuotesTheWholeRemoteInvocation) {
+  SshTransportConfig config;
+  config.hosts = {"alpha", "bravo"};
+  config.remote_binary = "/opt/bin/ethsm";
+  config.remote_root = "/scratch/ethsm";
+  SshTransport transport(config);
+
+  ASSERT_EQ(transport.slots(), 2u);
+  EXPECT_EQ(transport.slot_name(1), "bravo");
+  EXPECT_EQ(transport.unit_checkpoint_dir(2), "/scratch/ethsm/unit-2/ckpt");
+
+  const std::vector<std::string> argv = transport.command(
+      1, {"run", "--spec", "my spec.txt", "--shard", "2/8"});
+  const std::vector<std::string> expected = {
+      "ssh", "-o", "BatchMode=yes", "bravo",
+      "'/opt/bin/ethsm' 'run' '--spec' 'my spec.txt' '--shard' '2/8'"};
+  EXPECT_EQ(argv, expected);
+}
+
+TEST(OrchestrateTransport, SshCommandExportsWorkerThreadsRemotely) {
+  SshTransportConfig config;
+  config.hosts = {"alpha"};
+  config.threads_per_worker = 8;
+  SshTransport transport(config);
+
+  const std::vector<std::string> argv = transport.command(0, {"run", "fig8"});
+  ASSERT_EQ(argv.size(), 5u);
+  EXPECT_EQ(argv.back(), "ETHSM_THREADS=8 'ethsm' 'run' 'fig8'");
+}
+
+TEST(OrchestrateKillPlan, ParsesUnitAttemptAndOptionalDelay) {
+  ::setenv("ETHSM_ORCHESTRATE_KILL", "3:2:150", 1);
+  KillPlan plan = kill_plan_from_env();
+  EXPECT_TRUE(plan.active);
+  EXPECT_EQ(plan.unit, 3u);
+  EXPECT_EQ(plan.attempt, 2);
+  EXPECT_DOUBLE_EQ(plan.delay_ms, 150.0);
+
+  ::setenv("ETHSM_ORCHESTRATE_KILL", "0:1", 1);
+  plan = kill_plan_from_env();
+  EXPECT_TRUE(plan.active);
+  EXPECT_EQ(plan.unit, 0u);
+  EXPECT_EQ(plan.attempt, 1);
+  EXPECT_DOUBLE_EQ(plan.delay_ms, 0.0);
+
+  for (const char* bad : {"", "7", "7:", "x:1", "1:0", "1:2:3:4"}) {
+    ::setenv("ETHSM_ORCHESTRATE_KILL", bad, 1);
+    EXPECT_FALSE(kill_plan_from_env().active) << "input '" << bad << "'";
+  }
+  ::unsetenv("ETHSM_ORCHESTRATE_KILL");
+  EXPECT_FALSE(kill_plan_from_env().active);
+}
+
+}  // namespace
+}  // namespace ethsm::orchestrate
