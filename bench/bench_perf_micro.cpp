@@ -31,6 +31,7 @@
 #include "net/event_queue.h"
 #include "net/net_sim.h"
 #include "sim/simulator.h"
+#include "support/metrics.h"
 #include "support/rng.h"
 #include "support/stats.h"
 #include "support/thread_pool.h"
@@ -318,6 +319,21 @@ void BM_ThresholdSearch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ThresholdSearch)->Unit(benchmark::kMillisecond);
+
+void BM_MetricsCounterHotPath(benchmark::State& state) {
+  // The observability layer's overhead contract: one Counter::add() is one
+  // relaxed fetch_add on a thread-striped cell, cheap enough to sit on the
+  // sweep hot path. The perf gate pins this so a future "small" change to
+  // the metrics layer cannot silently tax every instrumented loop.
+  ethsm::support::metrics::Counter counter;
+  for (auto _ : state) {
+    counter.add();
+    benchmark::ClobberMemory();
+  }
+  benchmark::DoNotOptimize(counter.value());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsCounterHotPath);
 
 void BM_ClosedFormPiij(benchmark::State& state) {
   for (auto _ : state) {

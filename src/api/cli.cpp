@@ -29,8 +29,10 @@
 #include "serve/server.h"
 #include "support/checkpoint.h"
 #include "support/json.h"
+#include "support/metrics.h"
 #include "support/table.h"
 #include "support/thread_pool.h"
+#include "support/trace.h"
 
 namespace ethsm::api {
 
@@ -47,10 +49,12 @@ constexpr const char* kUsage =
     "            [--format table|csv|json] [--out FILE]\n"
     "            [--checkpoint-dir DIR | --resume] [--shard k/N]\n"
     "            [--max-new-jobs N]\n"
+    "            [--trace FILE] [--metrics-out FILE]\n"
     "  ethsm run --all | --study FILE     (writes a results tree + manifest)\n"
     "            [--quick] [--set key=value ...] [--out DIR]\n"
     "            [--checkpoint-dir DIR | --resume] [--shard k/N]\n"
     "            [--cell-shard k/N] [--max-new-jobs N] [--retry N]\n"
+    "            [--trace FILE] [--metrics-out FILE]\n"
     "  ethsm expand <study file> | --all [--quick] [--set key=value ...]\n"
     "  ethsm checkpoint-stats <dir> [--prune [--dry-run]]\n"
     "                               [--keep-study FILE ...]\n"
@@ -58,13 +62,14 @@ constexpr const char* kUsage =
     "  ethsm serve [--port N] [--host ADDR] [--checkpoint-dir DIR]\n"
     "              [--workers N] [--cache-entries N]\n"
     "              [--max-inflight N] [--client-jobs N]\n"
-    "              [--port-file FILE] [--quiet]\n"
+    "              [--port-file FILE] [--quiet] [--trace FILE]\n"
     "  ethsm orchestrate <preset> | --spec FILE | --study FILE | --all\n"
     "              [--quick] [--set key=value ...]\n"
     "              [--workers N | --hosts a,b,c] [--units M] [--retry N]\n"
     "              [--checkpoint-dir DIR] [--format table|csv|json]\n"
     "              [--out PATH] [--worker-threads N]\n"
-    "              [--remote-binary PATH] [--remote-root DIR]\n";
+    "              [--remote-binary PATH] [--remote-root DIR]\n"
+    "              [--quiet] [--trace FILE]\n";
 
 [[noreturn]] void usage_fail(const std::string& message) {
   std::fprintf(stderr, "error: %s\n%s", message.c_str(), kUsage);
@@ -187,6 +192,26 @@ struct RunArgs {
   support::SweepCheckpoint checkpoint;
   support::ShardSpec cell_shard;  ///< whole-cell round-robin (study runs)
   int retry = 0;  ///< --retry N: extra attempts per failing study cell
+  std::string trace_file;   ///< --trace FILE: Chrome trace-event JSON
+  std::string metrics_out;  ///< --metrics-out FILE: registry JSON snapshot
+};
+
+/// RAII for --trace FILE: starts the process tracer on construction (when a
+/// path was given) and flushes the Chrome trace-event JSON on scope exit --
+/// including the early-return and exception paths.
+class TraceGuard {
+ public:
+  explicit TraceGuard(const std::string& path) : active_(!path.empty()) {
+    if (active_) support::trace::start(path);
+  }
+  ~TraceGuard() {
+    if (active_) support::trace::stop();
+  }
+  TraceGuard(const TraceGuard&) = delete;
+  TraceGuard& operator=(const TraceGuard&) = delete;
+
+ private:
+  bool active_;
 };
 
 RunArgs parse_run_args(int argc, char** argv, int first) {
@@ -249,6 +274,10 @@ RunArgs parse_run_args(int argc, char** argv, int first) {
         usage_fail("malformed --retry (want an integer in [0, 100])");
       }
       args.retry = static_cast<int>(value);
+    } else if (arg == "--trace") {
+      args.trace_file = next("--trace");
+    } else if (arg == "--metrics-out") {
+      args.metrics_out = next("--metrics-out");
     } else if (!arg.empty() && arg.front() == '-') {
       usage_fail("unknown argument " + std::string(arg));
     } else if (args.request.preset.empty() &&
@@ -417,8 +446,7 @@ int cmd_run_study(const RunArgs& args) {
   return 0;
 }
 
-int cmd_run(const RunArgs& args) {
-  if (args.request.is_study()) return cmd_run_study(args);
+int cmd_run_single(const RunArgs& args) {
   const ExperimentSpec spec = args.request.resolve();
   RunOptions options;
   options.checkpoint = args.checkpoint;
@@ -444,6 +472,23 @@ int cmd_run(const RunArgs& args) {
       break;
   }
   return 0;
+}
+
+int cmd_run(const RunArgs& args) {
+  const TraceGuard trace(args.trace_file);
+  const int rc =
+      args.request.is_study() ? cmd_run_study(args) : cmd_run_single(args);
+  if (!args.metrics_out.empty()) {
+    // Snapshot of the process-wide engine counters (solver, thread pool,
+    // checkpoint, net sim) after the run -- the batch-mode analogue of the
+    // daemon's GET /metrics. Written even for a failed run: the counters up
+    // to the failure are exactly what one wants to look at.
+    if (!write_or_print(support::metrics::registry().render_json(),
+                        args.metrics_out)) {
+      return rc == 0 ? 1 : rc;
+    }
+  }
+  return rc;
 }
 
 int cmd_print(int argc, char** argv, int first) {
@@ -678,6 +723,7 @@ int cmd_serve(int argc, char** argv, int start) {
   service_config.checkpoint_dir = "ethsm-checkpoints";
   serve::ServerConfig server_config;
   std::string port_file;
+  std::string trace_file;
   bool quiet = false;
 
   const auto next = [&](int& i, const char* flag) -> const char* {
@@ -725,6 +771,8 @@ int cmd_serve(int argc, char** argv, int start) {
       port_file = next(i, "--port-file");
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--trace") {
+      trace_file = next(i, "--trace");
     } else {
       usage_fail("unknown serve argument '" + std::string(arg) + "'");
     }
@@ -756,7 +804,12 @@ int cmd_serve(int argc, char** argv, int start) {
   g_serve_server.store(&server);
   std::signal(SIGINT, serve_signal_handler);
   std::signal(SIGTERM, serve_signal_handler);
-  server.serve();
+  {
+    // Spans from every worker thread land in the trace; the guard flushes
+    // the file on clean shutdown (SIGINT/SIGTERM stop serve() normally).
+    const TraceGuard trace(trace_file);
+    server.serve();
+  }
   std::signal(SIGINT, SIG_DFL);
   std::signal(SIGTERM, SIG_DFL);
   g_serve_server.store(nullptr);
@@ -787,6 +840,8 @@ int cmd_orchestrate(int argc, char** argv, int first) {
   std::size_t worker_threads = 0;
   std::string remote_binary = "ethsm";
   std::string remote_root = "/tmp/ethsm-orchestrate";
+  std::string trace_file;
+  bool quiet = false;
 
   for (int i = first; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -854,6 +909,10 @@ int cmd_orchestrate(int argc, char** argv, int first) {
       remote_binary = next("--remote-binary");
     } else if (arg == "--remote-root") {
       remote_root = next("--remote-root");
+    } else if (arg == "--trace") {
+      trace_file = next("--trace");
+    } else if (arg == "--quiet") {
+      quiet = true;
     } else if (!arg.empty() && arg.front() == '-') {
       usage_fail("unknown orchestrate argument " + std::string(arg));
     } else if (request.preset.empty() && request.spec_file.empty()) {
@@ -919,9 +978,13 @@ int cmd_orchestrate(int argc, char** argv, int first) {
   config.retry.attempts = retry + 1;
   config.retry.initial_backoff_ms = 250.0;
   config.kill = orchestrate::kill_plan_from_env();
-  config.status = [](const std::string& line) {
-    std::cout << "[orchestrate] " << line << "\n" << std::flush;
-  };
+  if (!quiet) {
+    // --quiet empties the sink, which silences the scheduling lines AND the
+    // periodic progress heartbeat.
+    config.status = [](const std::string& line) {
+      std::cout << "[orchestrate] " << line << "\n" << std::flush;
+    };
+  }
 
   config.base_args.push_back("run");
   if (!request.preset.empty()) config.base_args.push_back(request.preset);
@@ -940,11 +1003,14 @@ int cmd_orchestrate(int argc, char** argv, int first) {
     config.base_args.push_back(assignment);
   }
 
-  std::cout << "== orchestrate: " << config.units << " shard unit(s) over "
-            << transport.slots() << " "
-            << (hosts.empty() ? "local worker(s)" : "ssh host(s)")
-            << " (checkpoint dir: " << checkpoint_dir << ") ==\n";
+  if (!quiet) {
+    std::cout << "== orchestrate: " << config.units << " shard unit(s) over "
+              << transport.slots() << " "
+              << (hosts.empty() ? "local worker(s)" : "ssh host(s)")
+              << " (checkpoint dir: " << checkpoint_dir << ") ==\n";
+  }
 
+  const TraceGuard trace(trace_file);
   const orchestrate::OrchestrateOutcome outcome = orchestrate::run_orchestrate(
       config);  // import stores die here; the merge pass below may write
   orchestrate::write_orchestrate_manifest(

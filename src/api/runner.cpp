@@ -13,6 +13,7 @@
 #include "sim/simulator.h"
 #include "support/check.h"
 #include "support/table.h"
+#include "support/trace.h"
 
 namespace ethsm::api {
 
@@ -805,6 +806,9 @@ void run_net(const ExperimentSpec& spec, const RunOptions& options,
 }  // namespace
 
 ExperimentResult run(const ExperimentSpec& spec, const RunOptions& options) {
+  // One span per experiment, named by kind: the outermost run-side scope in
+  // a --trace file (cells/serve requests wrap it from the outside).
+  support::trace::Span span("api.run " + std::string(to_string(spec.kind)));
   ExperimentResult result;
   result.spec = spec;
   result.spec_fingerprint = spec_fingerprint(spec);

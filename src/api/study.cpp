@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -13,7 +14,9 @@
 #include "api/presets.h"
 #include "api/render.h"
 #include "support/json.h"
+#include "support/metrics.h"
 #include "support/retry.h"
+#include "support/trace.h"
 
 namespace ethsm::api {
 
@@ -327,6 +330,22 @@ StudyResult run_study(std::string name, std::string title,
       policy.attempts = std::max(failure.retries, 0) + 1;
       policy.initial_backoff_ms = failure.initial_backoff_ms;
       policy.sleeper = failure.sleeper;
+      // Observability only (fills StudyEntryTiming / a study-cell span);
+      // entries run sequentially, so global-registry deltas around the cell
+      // are exactly this cell's solver work. Write-only: nothing below reads
+      // these values back into the run.
+      support::trace::Span cell_span("study.cell " + entry.name);
+      auto& reg = support::metrics::registry();
+      support::metrics::Counter& solver_solves =
+          reg.counter("ethsm_solver_solves_total");
+      support::metrics::Counter& solver_iters =
+          reg.counter("ethsm_solver_iterations_total");
+      support::metrics::Counter& solver_fallbacks =
+          reg.counter("ethsm_solver_fallbacks_total");
+      const std::uint64_t solves_before = solver_solves.value();
+      const std::uint64_t iters_before = solver_iters.value();
+      const std::uint64_t fallbacks_before = solver_fallbacks.value();
+      const auto cell_start = std::chrono::steady_clock::now();
       try {
         ExperimentResult result = support::retry(policy, [&] {
           ++entry_result.attempts;
@@ -337,6 +356,8 @@ StudyResult run_study(std::string name, std::string title,
               std::min(result.outcome.computed, remaining.max_new_jobs);
         }
         study.outcome.merge(result.outcome);
+        entry_result.timing.jobs_computed = result.outcome.computed;
+        entry_result.timing.jobs_loaded = result.outcome.loaded;
         entry_result.result = std::move(result);
       } catch (const std::exception& e) {
         // Fail-soft: one bad cell must not discard its siblings' work. The
@@ -354,6 +375,15 @@ StudyResult run_study(std::string name, std::string title,
           // failure recorded -- just without provenance hashes.
         }
       }
+      entry_result.timing.wall_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - cell_start)
+              .count();
+      entry_result.timing.solver_solves = solver_solves.value() - solves_before;
+      entry_result.timing.solver_iterations =
+          solver_iters.value() - iters_before;
+      entry_result.timing.solver_fallbacks =
+          solver_fallbacks.value() - fallbacks_before;
       study.entries.push_back(std::move(entry_result));
     }
     if (progress) {
@@ -466,6 +496,21 @@ void write_study_results(const StudyResult& study,
       // Deterministic job count of the cell's sweeps (same value fresh or
       // resumed): what `ethsm orchestrate` and shard planners size units by.
       manifest << ", \"jobs\": " << entry.result.outcome.jobs_total;
+    }
+    if (!entry.skipped) {
+      // Run-mode-dependent accounting lives in ONE flat object so bitwise
+      // tree comparisons can mask it (`,\s*"timing": \{[^}]*\}` -- see
+      // StudyEntryTiming in study.h and tools/compare_trees.py). Keys must
+      // stay flat: no nested braces, no strings containing '}' or '"dir"'.
+      char wall[32];
+      std::snprintf(wall, sizeof(wall), "%.3f", entry.timing.wall_ms);
+      manifest << ",\n     \"timing\": {\"wall_ms\": " << wall
+               << ", \"jobs_computed\": " << entry.timing.jobs_computed
+               << ", \"jobs_loaded\": " << entry.timing.jobs_loaded
+               << ", \"solver_solves\": " << entry.timing.solver_solves
+               << ", \"solver_iterations\": " << entry.timing.solver_iterations
+               << ", \"solver_fallbacks\": " << entry.timing.solver_fallbacks
+               << "}";
     }
     if (!study.cell_shard.is_whole_sweep()) {
       manifest << ", \"cell_owner\": " << entry.cell_owner

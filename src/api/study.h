@@ -43,6 +43,7 @@
 #ifndef ETHSM_API_STUDY_H
 #define ETHSM_API_STUDY_H
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <string_view>
@@ -105,6 +106,22 @@ struct StudyEntry {
 /// preset as one entry, in registry order.
 [[nodiscard]] std::vector<StudyEntry> paper_study_entries(bool quick);
 
+/// Observability record for one executed cell. Everything in here is
+/// run-mode-dependent (wall time is nondeterministic; job and solver counts
+/// differ between fresh and resumed runs), so it is rendered into the
+/// manifest as ONE flat `"timing": {...}` object -- flat numeric keys, no
+/// nested braces -- that bitwise-tree comparisons mask with the regex
+/// `,\s*"timing": \{[^}]*\}` (tools/compare_trees.py and the study tests).
+/// Never put deterministic result data in here.
+struct StudyEntryTiming {
+  double wall_ms = 0.0;            ///< run(spec) wall time, retries included
+  std::uint64_t jobs_computed = 0; ///< sweep jobs computed this invocation
+  std::uint64_t jobs_loaded = 0;   ///< sweep jobs loaded from checkpoints
+  std::uint64_t solver_solves = 0;     ///< stationary solves (registry delta)
+  std::uint64_t solver_iterations = 0; ///< stationary sweeps (registry delta)
+  std::uint64_t solver_fallbacks = 0;  ///< gs -> power fallbacks taken
+};
+
 /// run(spec) over every entry with shared checkpointing and roll-up.
 struct StudyEntryResult {
   std::string name;
@@ -121,6 +138,8 @@ struct StudyEntryResult {
   bool failed = false;
   std::string error;  ///< what() of the last attempt's exception
   int attempts = 0;   ///< run(spec) invocations (retries included)
+  /// Per-cell timing/accounting (masked in bitwise tree comparisons).
+  StudyEntryTiming timing;
 };
 
 /// How run_study treats a cell whose run(spec) throws: every failure is

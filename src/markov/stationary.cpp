@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "support/check.h"
+#include "support/metrics.h"
 #include "support/stats.h"
 
 namespace ethsm::markov {
@@ -200,6 +201,34 @@ double gauss_seidel_iterate(const TransitionModel& model,
   return diff;
 }
 
+/// Write-only observability tap (see support/metrics.h): solver volume,
+/// total sweeps, which inner engine produced the result, and how often the
+/// adaptive fallback fired. Compiled out under ETHSM_METRICS=OFF.
+struct SolverMetrics {
+  support::metrics::Counter& solves;
+  support::metrics::Counter& iterations;
+  support::metrics::Counter& gauss_seidel;
+  support::metrics::Counter& power;
+  support::metrics::Counter& fallbacks;
+
+  static SolverMetrics& instance() {
+    auto& reg = support::metrics::registry();
+    static SolverMetrics m{
+        reg.counter("ethsm_solver_solves_total",
+                    "Stationary solves completed"),
+        reg.counter("ethsm_solver_iterations_total",
+                    "Total stationary sweeps across all solves"),
+        reg.counter("ethsm_solver_gauss_seidel_total",
+                    "Solves produced by the Gauss-Seidel engine"),
+        reg.counter("ethsm_solver_power_total",
+                    "Solves produced by power iteration"),
+        reg.counter("ethsm_solver_fallbacks_total",
+                    "Adaptive Gauss-Seidel -> power fallbacks taken"),
+    };
+    return m;
+  }
+};
+
 }  // namespace
 
 StationaryDistribution solve_stationary(const TransitionModel& model,
@@ -245,10 +274,20 @@ StationaryDistribution solve_stationary(const TransitionModel& model,
       diff = power_iterate(model, pi, options.tolerance,
                            options.max_iterations, iter);
       produced = SolveMethod::power;
+      if constexpr (support::metrics::kEnabled) {
+        SolverMetrics::instance().fallbacks.add();
+      }
     }
   } else {
     diff = power_iterate(model, pi, options.tolerance, options.max_iterations,
                          iter);
+  }
+
+  if constexpr (support::metrics::kEnabled) {
+    SolverMetrics& m = SolverMetrics::instance();
+    m.solves.add();
+    m.iterations.add(static_cast<std::uint64_t>(iter < 0 ? 0 : iter));
+    (produced == SolveMethod::gauss_seidel ? m.gauss_seidel : m.power).add();
   }
 
   // Renormalise: the row sums are exactly 1 by construction, but a long

@@ -10,8 +10,10 @@
 #include "miner/selfish_policy.h"
 #include "net/event_queue.h"
 #include "support/check.h"
+#include "support/metrics.h"
 #include "support/parallel.h"
 #include "support/rng.h"
+#include "support/trace.h"
 
 namespace ethsm::net {
 
@@ -500,8 +502,33 @@ void NetSimConfig::validate() const {
 
 NetSimResult run_net_simulation(const NetSimConfig& config) {
   config.validate();
+  support::trace::Span span("net.run");
   Engine engine(config);
-  return engine.run();
+  NetSimResult result = engine.run();
+  if constexpr (support::metrics::kEnabled) {
+    // Write-only tap: end-of-run totals mirrored into the process registry
+    // (the per-run numbers already live in the deterministic result).
+    auto& reg = support::metrics::registry();
+    static support::metrics::Counter& runs =
+        reg.counter("ethsm_net_runs_total", "Network simulations completed");
+    static support::metrics::Counter& events = reg.counter(
+        "ethsm_net_events_total", "Discrete events processed by the net sim");
+    static support::metrics::Counter& drops =
+        reg.counter("ethsm_net_fault_messages_dropped_total",
+                    "Messages dropped by the fault layer");
+    static support::metrics::Counter& mining_lost =
+        reg.counter("ethsm_net_fault_mining_lost_total",
+                    "Mining opportunities lost to node downtime");
+    static support::metrics::Counter& downtime =
+        reg.counter("ethsm_net_fault_downtime_events_total",
+                    "Node down/up transitions injected by churn");
+    runs.add();
+    events.add(result.events_processed);
+    drops.add(result.faults_messages_dropped);
+    mining_lost.add(result.faults_mining_lost);
+    downtime.add(result.faults_downtime_events);
+  }
+  return result;
 }
 
 void NetMultiRunSummary::absorb(const NetSimResult& r) {

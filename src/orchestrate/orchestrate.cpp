@@ -1,6 +1,7 @@
 #include "orchestrate/orchestrate.h"
 
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -14,6 +15,8 @@
 #include "orchestrate/process.h"
 #include "support/checkpoint.h"
 #include "support/json.h"
+#include "support/metrics.h"
+#include "support/trace.h"
 
 namespace ethsm::orchestrate {
 
@@ -35,6 +38,32 @@ struct UnitState {
   std::string worker;
   std::string last_error;
   std::size_t records = 0;
+  Clock::time_point attempt_started;    ///< launch time of the running attempt
+  std::uint64_t attempt_begin_us = 0;   ///< trace anchor for the attempt span
+  double wall_ms = 0.0;                 ///< summed attempt wall time
+};
+
+/// Process-wide coordinator counters (support::metrics::registry()): unit
+/// attempts and import volume, surfaced by GET /metrics and --metrics-out.
+/// Import *bytes* are already accounted by the checkpoint layer
+/// (ethsm_checkpoint_imported_bytes_total) because ImportSink goes through
+/// CheckpointStore::import_directory in-process.
+struct OrchestrateMetrics {
+  support::metrics::Counter& attempts;
+  support::metrics::Counter& units_ok;
+  support::metrics::Counter& units_failed;
+  support::metrics::Counter& records_imported;
+
+  static OrchestrateMetrics& instance() {
+    static OrchestrateMetrics metrics{
+        support::metrics::registry().counter("ethsm_orchestrate_attempts_total"),
+        support::metrics::registry().counter("ethsm_orchestrate_units_ok_total"),
+        support::metrics::registry().counter(
+            "ethsm_orchestrate_units_failed_total"),
+        support::metrics::registry().counter(
+            "ethsm_orchestrate_records_imported_total")};
+    return metrics;
+  }
 };
 
 struct SlotState {
@@ -112,6 +141,7 @@ KillPlan kill_plan_from_env() {
 }
 
 OrchestrateOutcome run_orchestrate(const OrchestrateConfig& config) {
+  support::trace::Span span("orchestrate.run");
   WorkerTransport* transport = config.transport;
   if (transport == nullptr) {
     throw std::invalid_argument("orchestrate: no transport");
@@ -190,6 +220,11 @@ OrchestrateOutcome run_orchestrate(const OrchestrateConfig& config) {
     ++unit.attempts;
     unit.phase = UnitPhase::running;
     unit.worker = transport->slot_name(s);
+    unit.attempt_started = Clock::now();
+    unit.attempt_begin_us = support::trace::now_us();
+    if constexpr (support::metrics::kEnabled) {
+      OrchestrateMetrics::instance().attempts.add();
+    }
     const std::string log_path = log_dir + "/unit-" + std::to_string(u) +
                                  "-attempt-" + std::to_string(unit.attempts) +
                                  ".log";
@@ -229,9 +264,24 @@ OrchestrateOutcome run_orchestrate(const OrchestrateConfig& config) {
     const std::size_t imported = sink.import_all(fetched);
     unit.records += imported;
     outcome.records_imported += imported;
+    unit.wall_ms += std::chrono::duration<double, std::milli>(
+                        Clock::now() - unit.attempt_started)
+                        .count();
+    if (support::trace::enabled()) {
+      support::trace::complete_event(
+          "orchestrate.unit " + std::to_string(slot.unit) + " attempt " +
+              std::to_string(unit.attempts),
+          unit.attempt_begin_us, support::trace::now_us());
+    }
+    if constexpr (support::metrics::kEnabled) {
+      OrchestrateMetrics::instance().records_imported.add(imported);
+    }
 
     if (status.ok()) {
       unit.phase = UnitPhase::done;
+      if constexpr (support::metrics::kEnabled) {
+        OrchestrateMetrics::instance().units_ok.add();
+      }
       slot.consecutive_failures = 0;
       transport->cleanup(s, slot.unit);
       emit("unit " + std::to_string(slot.unit) + " ok on " + unit.worker +
@@ -255,6 +305,9 @@ OrchestrateOutcome run_orchestrate(const OrchestrateConfig& config) {
     }
     if (unit.attempts >= max_attempts) {
       unit.phase = UnitPhase::failed;
+      if constexpr (support::metrics::kEnabled) {
+        OrchestrateMetrics::instance().units_failed.add();
+      }
       emit("unit " + std::to_string(slot.unit) + " FAILED after " +
            std::to_string(unit.attempts) + " attempt(s): " + unit.last_error);
       return;
@@ -268,6 +321,7 @@ OrchestrateOutcome run_orchestrate(const OrchestrateConfig& config) {
          " records recovered)");
   };
 
+  Clock::time_point last_heartbeat = Clock::now();
   while (remaining() > 0) {
     bool progressed = false;
     const Clock::time_point now = Clock::now();
@@ -297,7 +351,17 @@ OrchestrateOutcome run_orchestrate(const OrchestrateConfig& config) {
       }
     }
 
-    if (!progressed && remaining() > 0) {
+    if (progressed) {
+      last_heartbeat = now;
+    } else if (remaining() > 0) {
+      // Long-running units would otherwise go silent between scheduling
+      // events; a periodic one-liner keeps the operator (and CI logs)
+      // informed that workers are still alive.
+      if (config.heartbeat_interval_ms > 0.0 &&
+          now - last_heartbeat >= from_ms(config.heartbeat_interval_ms)) {
+        emit("heartbeat: " + progress_line());
+        last_heartbeat = now;
+      }
       std::this_thread::sleep_for(from_ms(config.poll_interval_ms));
     }
   }
@@ -315,7 +379,14 @@ OrchestrateOutcome run_orchestrate(const OrchestrateConfig& config) {
     row.ok = units[u].phase == UnitPhase::done;
     row.error = units[u].last_error;
     row.records_imported = units[u].records;
+    row.wall_ms = units[u].wall_ms;
     outcome.units.push_back(std::move(row));
+    outcome.attempts_total += static_cast<std::size_t>(units[u].attempts);
+    if (row.ok) {
+      ++outcome.units_ok;
+    } else {
+      ++outcome.units_failed;
+    }
   }
   emit(progress_line());
   return outcome;
@@ -334,6 +405,9 @@ void write_orchestrate_manifest(const OrchestrateOutcome& outcome,
       << "  \"schema\": \"ethsm-orchestrate-manifest-v1\",\n"
       << "  \"status\": \"" << (outcome.ok() ? "ok" : "failed") << "\",\n"
       << "  \"units\": " << outcome.units.size() << ",\n"
+      << "  \"units_ok\": " << outcome.units_ok << ",\n"
+      << "  \"units_failed\": " << outcome.units_failed << ",\n"
+      << "  \"attempts_total\": " << outcome.attempts_total << ",\n"
       << "  \"records_imported\": " << outcome.records_imported << ",\n"
       << "  \"slots_quarantined\": " << outcome.slots_quarantined << ",\n"
       << "  \"shards\": [";
@@ -347,6 +421,12 @@ void write_orchestrate_manifest(const OrchestrateOutcome& outcome,
     if (!unit.ok) {
       out << ", \"error\": \"" << json_escape(unit.error) << "\"";
     }
+    // The masked per-unit timing object (see StudyEntryTiming: same flat
+    // shape, same `,\s*"timing": \{[^}]*\}` masking regex). Keys must stay
+    // flat -- no nested braces.
+    char wall[32];
+    std::snprintf(wall, sizeof(wall), "%.3f", unit.wall_ms);
+    out << ", \"timing\": {\"wall_ms\": " << wall << "}";
     out << "}";
   }
   out << "\n  ]\n}\n";

@@ -62,12 +62,21 @@ struct UnitOutcome {
   bool ok = false;
   std::string error;   ///< last attempt's ExitStatus::describe() when !ok
   std::size_t records_imported = 0;  ///< checkpoint records this unit added
+  /// Wall time summed over every attempt (launch to settle, import
+  /// included). Rendered into the manifest as the masked "timing" object --
+  /// it is nondeterministic and must never feed a bitwise comparison.
+  double wall_ms = 0.0;
 };
 
 struct OrchestrateOutcome {
   std::vector<UnitOutcome> units;
   std::size_t records_imported = 0;
   std::size_t slots_quarantined = 0;
+  /// Worker launches across every unit, retries included (the heartbeat's
+  /// counters, repeated in the manifest so a log scrape is not required).
+  std::size_t attempts_total = 0;
+  std::size_t units_ok = 0;
+  std::size_t units_failed = 0;
 
   [[nodiscard]] bool ok() const noexcept {
     for (const UnitOutcome& unit : units) {
@@ -113,6 +122,12 @@ struct OrchestrateConfig {
 
   /// Scheduler poll interval while workers run.
   double poll_interval_ms = 20.0;
+
+  /// Quiet stretches still get a progress heartbeat through `status` at most
+  /// this often (<= 0 disables): long-running units would otherwise leave
+  /// the operator staring at silence. `--quiet` empties `status`, which
+  /// silences the heartbeat too.
+  double heartbeat_interval_ms = 2000.0;
 };
 
 /// Runs every unit to success or attempt exhaustion and imports all

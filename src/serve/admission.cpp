@@ -18,7 +18,7 @@ bool AdmissionController::try_acquire(const std::string& client) {
   if (total_ >= config_.max_jobs_in_flight ||
       mine >= config_.per_client_jobs) {
     if (mine == 0) per_client_.erase(client);
-    ++rejected_;
+    rejected_.add();
     return false;
   }
   ++total_;
@@ -42,8 +42,7 @@ std::size_t AdmissionController::jobs_in_flight() const {
 }
 
 std::uint64_t AdmissionController::rejected() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return rejected_;
+  return rejected_.value();
 }
 
 }  // namespace ethsm::serve

@@ -18,6 +18,8 @@
 #include <mutex>
 #include <string>
 
+#include "support/metrics.h"
+
 namespace ethsm::serve {
 
 struct AdmissionConfig {
@@ -48,7 +50,9 @@ class AdmissionController {
   mutable std::mutex mutex_;
   std::size_t total_ = 0;
   std::map<std::string, std::size_t> per_client_;
-  std::uint64_t rejected_ = 0;
+  /// Single source of rejection truth -- /v1/status and /metrics both render
+  /// this counter (the service registers it through a callback).
+  support::metrics::Counter rejected_;
 };
 
 }  // namespace ethsm::serve

@@ -9,10 +9,10 @@ std::optional<std::string> ResultCache::get(std::uint64_t fingerprint) {
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = index_.find(fingerprint);
   if (it == index_.end()) {
-    ++misses_;
+    misses_.add();
     return std::nullopt;
   }
-  ++hits_;
+  hits_.add();
   lru_.splice(lru_.begin(), lru_, it->second);
   return it->second->second;
 }
@@ -34,7 +34,7 @@ void ResultCache::put(std::uint64_t fingerprint, std::string payload) {
   if (lru_.size() > capacity_) {
     index_.erase(lru_.back().first);
     lru_.pop_back();
-    ++evictions_;
+    evictions_.add();
   }
 }
 
@@ -43,19 +43,10 @@ std::size_t ResultCache::size() const {
   return lru_.size();
 }
 
-std::uint64_t ResultCache::hits() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return hits_;
-}
+std::uint64_t ResultCache::hits() const { return hits_.value(); }
 
-std::uint64_t ResultCache::misses() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return misses_;
-}
+std::uint64_t ResultCache::misses() const { return misses_.value(); }
 
-std::uint64_t ResultCache::evictions() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return evictions_;
-}
+std::uint64_t ResultCache::evictions() const { return evictions_.value(); }
 
 }  // namespace ethsm::serve

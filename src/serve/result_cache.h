@@ -21,6 +21,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "support/metrics.h"
+
 namespace ethsm::serve {
 
 /// Thread-safe LRU map fingerprint -> rendered JSON payload.
@@ -52,9 +54,12 @@ class ResultCache {
   mutable std::mutex mutex_;
   std::list<Entry> lru_;  ///< front = most recently used
   std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
+  /// The cache's single source of hit/miss/eviction truth, stored as metric
+  /// counters so /v1/status and /metrics render the same numbers (the
+  /// service registers them through callbacks; there is no shadow copy).
+  support::metrics::Counter hits_;
+  support::metrics::Counter misses_;
+  support::metrics::Counter evictions_;
 };
 
 }  // namespace ethsm::serve

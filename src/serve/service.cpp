@@ -13,6 +13,7 @@
 #include "support/check.h"
 #include "support/checkpoint.h"
 #include "support/json.h"
+#include "support/trace.h"
 
 namespace ethsm::serve {
 
@@ -23,9 +24,69 @@ ExperimentService::ExperimentService(ServiceConfig config)
     : config_(std::move(config)),
       cache_(config_.cache_entries),
       admission_(config_.admission),
-      started_(std::chrono::steady_clock::now()) {
+      started_(std::chrono::steady_clock::now()),
+      requests_total_(registry_.counter("ethsm_serve_requests_total",
+                                        "HTTP requests handled")),
+      requests_run_(registry_.counter("ethsm_serve_requests_run_total",
+                                      "POST /v1/run requests")),
+      requests_result_(registry_.counter("ethsm_serve_requests_result_total",
+                                         "GET /v1/result requests")),
+      requests_presets_(registry_.counter("ethsm_serve_requests_presets_total",
+                                          "GET /v1/presets requests")),
+      requests_status_(registry_.counter("ethsm_serve_requests_status_total",
+                                         "GET /v1/status requests")),
+      requests_progress_(registry_.counter(
+          "ethsm_serve_requests_progress_total", "GET /v1/progress requests")),
+      requests_metrics_(registry_.counter("ethsm_serve_requests_metrics_total",
+                                          "GET /metrics requests")),
+      computations_(registry_.counter("ethsm_serve_computations_total",
+                                      "Computations run to completion")),
+      failures_(registry_.counter("ethsm_serve_failures_total",
+                                  "Requests failed with an internal error")),
+      request_seconds_(registry_.histogram(
+          "ethsm_serve_request_seconds",
+          support::metrics::Histogram::latency_bounds_seconds(),
+          "End-to-end request handling latency")) {
   ETHSM_EXPECTS(!config_.checkpoint_dir.empty(),
                 "serve needs a checkpoint directory");
+  // The cache/dedupe/admission layers keep their own internal accounting
+  // (tests drive them directly); the registry samples them through callbacks
+  // at render time, so /v1/status and /metrics read the same source.
+  registry_.register_gauge_fn(
+      "ethsm_serve_cache_entries",
+      [this] { return static_cast<std::int64_t>(cache_.size()); },
+      "Rendered payloads resident in the LRU cache");
+  registry_.register_counter_fn(
+      "ethsm_serve_cache_hits_total", [this] { return cache_.hits(); },
+      "Result-cache hits");
+  registry_.register_counter_fn(
+      "ethsm_serve_cache_misses_total", [this] { return cache_.misses(); },
+      "Result-cache misses");
+  registry_.register_counter_fn(
+      "ethsm_serve_cache_evictions_total",
+      [this] { return cache_.evictions(); }, "Result-cache LRU evictions");
+  registry_.register_gauge_fn(
+      "ethsm_serve_inflight_jobs",
+      [this] { return static_cast<std::int64_t>(inflight_.depth()); },
+      "Computations currently in flight");
+  registry_.register_counter_fn(
+      "ethsm_serve_dedupe_attached_total",
+      [this] { return inflight_.attached(); },
+      "Requests served by attaching to an in-flight computation");
+  registry_.register_gauge_fn(
+      "ethsm_serve_admission_acquired",
+      [this] { return static_cast<std::int64_t>(admission_.jobs_in_flight()); },
+      "Admission slots currently held");
+  registry_.register_counter_fn(
+      "ethsm_serve_admission_rejected_total",
+      [this] { return admission_.rejected(); },
+      "Requests rejected by admission control (429s)");
+  registry_.register_gauge_fn(
+      "ethsm_serve_queue_depth",
+      [this] {
+        return static_cast<std::int64_t>(queue_depth_ ? queue_depth_() : 0);
+      },
+      "Accepted connections waiting for a worker");
   // Preload the registry: /v1/result and /v1/progress resolve every preset
   // fingerprint (full and quick) from the first request on, cold cache or
   // not.
@@ -84,41 +145,59 @@ std::shared_ptr<std::mutex> ExperimentService::sweep_lock(
 
 HttpResponse ExperimentService::handle(const HttpRequest& request,
                                        const std::string& client) {
-  ++requests_total_;
+  requests_total_.add();
+  support::trace::Span span("serve.request " + request.path);
+  const auto handle_start = std::chrono::steady_clock::now();
+  // Observe the latency on every exit path; the histogram is a write-only
+  // tap, so a scope guard keeps the routing below branch-free about it.
+  struct LatencyGuard {
+    support::metrics::Histogram& histogram;
+    std::chrono::steady_clock::time_point start;
+    ~LatencyGuard() {
+      histogram.observe(std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count());
+    }
+  } latency_guard{request_seconds_, handle_start};
   try {
     const std::string& path = request.path;
     if (path == "/v1/run") {
       if (request.method != "POST") {
         return json_error(405, "POST /v1/run (got " + request.method + ")");
       }
-      ++requests_run_;
+      requests_run_.add();
       return handle_run(request, client);
     }
     if (path.rfind("/v1/result/", 0) == 0) {
       if (request.method != "GET") return json_error(405, "GET only");
-      ++requests_result_;
+      requests_result_.add();
       return handle_result(path.substr(std::strlen("/v1/result/")), client);
     }
     if (path == "/v1/presets") {
       if (request.method != "GET") return json_error(405, "GET only");
-      ++requests_presets_;
+      requests_presets_.add();
       return {200, "application/json", {}, api::render_presets_json(), false};
     }
     if (path == "/v1/status") {
       if (request.method != "GET") return json_error(405, "GET only");
-      ++requests_status_;
+      requests_status_.add();
       return handle_status();
+    }
+    if (path == "/metrics") {
+      if (request.method != "GET") return json_error(405, "GET only");
+      requests_metrics_.add();
+      return handle_metrics();
     }
     if (path.rfind("/v1/progress/", 0) == 0) {
       if (request.method != "GET") return json_error(405, "GET only");
-      ++requests_progress_;
+      requests_progress_.add();
       return handle_progress(path.substr(std::strlen("/v1/progress/")));
     }
     return json_error(404, "unknown endpoint " + path);
   } catch (const api::SpecError& e) {
     return json_error(400, e.what());
   } catch (const std::exception& e) {
-    ++failures_;
+    failures_.add();
     return json_error(500, e.what());
   }
 }
@@ -193,17 +272,21 @@ HttpResponse ExperimentService::rejected_response() {
 HttpResponse ExperimentService::run_spec(std::uint64_t fingerprint,
                                          const std::string& spec_text,
                                          const std::string& client) {
-  if (std::optional<std::string> payload = cache_.get(fingerprint)) {
-    HttpResponse response;
-    response.body = std::move(*payload);
-    response.extra_headers.emplace_back("X-Ethsm-Source", "cache");
-    return response;
+  {
+    support::trace::Span cache_span("serve.cache_lookup");
+    if (std::optional<std::string> payload = cache_.get(fingerprint)) {
+      HttpResponse response;
+      response.body = std::move(*payload);
+      response.extra_headers.emplace_back("X-Ethsm-Source", "cache");
+      return response;
+    }
   }
 
   const InflightTable::Ticket ticket = inflight_.begin(fingerprint);
   if (!ticket.leader) {
     // Dedupe: ride the computation some other request already started.
     // Attaching is free -- admission gates only computation starts.
+    support::trace::Span dedupe_span("serve.dedupe_wait");
     const InflightTable::Outcome outcome = InflightTable::wait(ticket.job);
     switch (outcome.state) {
       case InflightTable::JobState::done: {
@@ -231,7 +314,12 @@ HttpResponse ExperimentService::run_spec(std::uint64_t fingerprint,
     return response;
   }
 
-  if (!admission_.try_acquire(client)) {
+  bool admitted = false;
+  {
+    support::trace::Span admission_span("serve.admission");
+    admitted = admission_.try_acquire(client);
+  }
+  if (!admitted) {
     // Followers of this job get the same 429: had they arrived alone they
     // would have been the over-budget leader themselves.
     inflight_.finish(fingerprint, ticket.job,
@@ -240,7 +328,10 @@ HttpResponse ExperimentService::run_spec(std::uint64_t fingerprint,
   }
 
   try {
-    const api::ExperimentSpec spec = api::parse_spec(spec_text);
+    const api::ExperimentSpec spec = [&] {
+      support::trace::Span parse_span("serve.parse_spec");
+      return api::parse_spec(spec_text);
+    }();
     // One writer per sweep (the checkpoint store's contract): distinct specs
     // can touch the same sweep, so take every sweep lock in sorted order.
     std::vector<std::uint64_t> sweeps = api::sweep_fingerprints(spec);
@@ -255,10 +346,14 @@ HttpResponse ExperimentService::run_spec(std::uint64_t fingerprint,
 
     api::RunOptions options;
     options.checkpoint.directory = config_.checkpoint_dir;
-    const api::ExperimentResult result = api::run(spec, options);
+    const api::ExperimentResult result = [&] {
+      support::trace::Span compute_span("serve.compute");
+      return api::run(spec, options);
+    }();
     held.clear();
-    ++computations_;
+    computations_.add();
 
+    support::trace::Span render_span("serve.render");
     std::string payload =
         api::render_json(api::provenance_normalized(result));
     cache_.put(fingerprint, payload);
@@ -272,7 +367,7 @@ HttpResponse ExperimentService::run_spec(std::uint64_t fingerprint,
   } catch (const std::exception& e) {
     // Errors are not cached: a transient failure (disk, OOM) must not poison
     // the fingerprint until an eviction.
-    ++failures_;
+    failures_.add();
     admission_.release(client);
     inflight_.finish(fingerprint, ticket.job, InflightTable::JobState::failed,
                      e.what());
@@ -284,22 +379,24 @@ HttpResponse ExperimentService::handle_status() {
   const auto uptime = std::chrono::duration_cast<std::chrono::seconds>(
                           std::chrono::steady_clock::now() - started_)
                           .count();
+  // Rendered from the same sources as GET /metrics: the route counters live
+  // in registry_, the cache/dedupe/admission numbers in those classes.
   std::ostringstream os;
   os << "{\n";
   os << "  \"uptime_seconds\": " << uptime << ",\n";
-  os << "  \"requests\": {\"total\": " << requests_total_.load()
-     << ", \"run\": " << requests_run_.load()
-     << ", \"result\": " << requests_result_.load()
-     << ", \"presets\": " << requests_presets_.load()
-     << ", \"status\": " << requests_status_.load()
-     << ", \"progress\": " << requests_progress_.load() << "},\n";
+  os << "  \"requests\": {\"total\": " << requests_total_.value()
+     << ", \"run\": " << requests_run_.value()
+     << ", \"result\": " << requests_result_.value()
+     << ", \"presets\": " << requests_presets_.value()
+     << ", \"status\": " << requests_status_.value()
+     << ", \"progress\": " << requests_progress_.value() << "},\n";
   os << "  \"cache\": {\"entries\": " << cache_.size()
      << ", \"capacity\": " << cache_.capacity()
      << ", \"hits\": " << cache_.hits() << ", \"misses\": " << cache_.misses()
      << ", \"evictions\": " << cache_.evictions() << "},\n";
   os << "  \"jobs\": {\"in_flight\": " << inflight_.depth()
-     << ", \"computed\": " << computations_.load()
-     << ", \"failed\": " << failures_.load()
+     << ", \"computed\": " << computations_.value()
+     << ", \"failed\": " << failures_.value()
      << ", \"dedupe_attached\": " << inflight_.attached() << "},\n";
   os << "  \"admission\": {\"max_jobs_in_flight\": "
      << admission_.config().max_jobs_in_flight
@@ -310,6 +407,18 @@ HttpResponse ExperimentService::handle_status() {
   os << "}\n";
   HttpResponse response;
   response.body = os.str();
+  return response;
+}
+
+HttpResponse ExperimentService::handle_metrics() {
+  // The daemon's own counters first, then the process-wide engine taps
+  // (solver, thread pool, checkpoint store, net sim) -- one scrape covers
+  // every layer. Metric names are disjoint by construction (ethsm_serve_*
+  // vs ethsm_<engine>_*), so concatenation is a valid exposition.
+  HttpResponse response;
+  response.content_type = "text/plain; version=0.0.4";
+  response.body = registry_.render_prometheus() +
+                  support::metrics::registry().render_prometheus();
   return response;
 }
 

@@ -30,7 +30,6 @@
 #ifndef ETHSM_SERVE_SERVICE_H
 #define ETHSM_SERVE_SERVICE_H
 
-#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
@@ -44,6 +43,7 @@
 #include "serve/http.h"
 #include "serve/inflight.h"
 #include "serve/result_cache.h"
+#include "support/metrics.h"
 
 namespace ethsm::serve {
 
@@ -101,6 +101,7 @@ class ExperimentService {
                           const std::string& client);
   HttpResponse handle_result(std::string_view hex, const std::string& client);
   HttpResponse handle_status();
+  HttpResponse handle_metrics();
   HttpResponse handle_progress(std::string_view hex);
 
   /// The cache -> dedupe -> admission -> api::run path for a spec whose
@@ -134,15 +135,24 @@ class ExperimentService {
   std::map<std::uint64_t, std::shared_ptr<std::mutex>> sweep_locks_;
   [[nodiscard]] std::shared_ptr<std::mutex> sweep_lock(std::uint64_t sweep);
 
-  // Observability counters for /v1/status.
-  std::atomic<std::uint64_t> requests_total_{0};
-  std::atomic<std::uint64_t> requests_run_{0};
-  std::atomic<std::uint64_t> requests_result_{0};
-  std::atomic<std::uint64_t> requests_presets_{0};
-  std::atomic<std::uint64_t> requests_status_{0};
-  std::atomic<std::uint64_t> requests_progress_{0};
-  std::atomic<std::uint64_t> computations_{0};
-  std::atomic<std::uint64_t> failures_{0};
+  /// The single source of truth for the daemon's counters: /v1/status and
+  /// GET /metrics are two renderings of this per-instance registry (plus the
+  /// process-wide metrics::registry() for the engine taps). Per-instance so
+  /// one process hosting several services -- the test binary does -- keeps
+  /// their counts separate. The cache/admission/inflight statistics stay
+  /// inside those classes and surface here through callbacks, so no number
+  /// is accounted twice.
+  support::metrics::Registry registry_;
+  support::metrics::Counter& requests_total_;
+  support::metrics::Counter& requests_run_;
+  support::metrics::Counter& requests_result_;
+  support::metrics::Counter& requests_presets_;
+  support::metrics::Counter& requests_status_;
+  support::metrics::Counter& requests_progress_;
+  support::metrics::Counter& requests_metrics_;
+  support::metrics::Counter& computations_;
+  support::metrics::Counter& failures_;
+  support::metrics::Histogram& request_seconds_;
 };
 
 }  // namespace ethsm::serve

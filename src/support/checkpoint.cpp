@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <charconv>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -12,11 +13,51 @@
 
 #include "support/check.h"
 #include "support/json.h"
+#include "support/metrics.h"
 #include "support/retry.h"
 
 namespace ethsm::support {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+/// Write-only observability tap over the checkpoint store: append volume
+/// and latency, import merges, and record reads. Compiled out under
+/// ETHSM_METRICS=OFF.
+struct CheckpointMetrics {
+  metrics::Counter& appends;
+  metrics::Counter& append_bytes;
+  metrics::Histogram& append_seconds;
+  metrics::Counter& imported_records;
+  metrics::Counter& imported_bytes;
+  metrics::Counter& read_records;
+  metrics::Counter& read_bytes;
+
+  static CheckpointMetrics& instance() {
+    auto& reg = metrics::registry();
+    static CheckpointMetrics m{
+        reg.counter("ethsm_checkpoint_appends_total",
+                    "Records appended to checkpoint files"),
+        reg.counter("ethsm_checkpoint_append_bytes_total",
+                    "Bytes written by checkpoint appends (incl. framing)"),
+        reg.histogram("ethsm_checkpoint_append_seconds",
+                      metrics::Histogram::latency_bounds_seconds(),
+                      "Latency of single checkpoint appends (open to flush)"),
+        reg.counter("ethsm_checkpoint_imported_records_total",
+                    "Records merged in via import_directory"),
+        reg.counter("ethsm_checkpoint_imported_bytes_total",
+                    "Payload bytes merged in via import_directory"),
+        reg.counter("ethsm_checkpoint_read_records_total",
+                    "Records read back via read_checkpoint_records"),
+        reg.counter("ethsm_checkpoint_read_bytes_total",
+                    "Payload bytes read back via read_checkpoint_records"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 // ---------------------------------------------------------------- sharding --
 
@@ -382,6 +423,11 @@ std::size_t CheckpointStore::import_directory(
     const std::lock_guard<std::mutex> lock(append_mutex_);
     if (records_.count(job) != 0) continue;  // idempotent re-sync
     append_locked(job, payload);
+    if constexpr (metrics::kEnabled) {
+      CheckpointMetrics& m = CheckpointMetrics::instance();
+      m.imported_records.add();
+      m.imported_bytes.add(payload.size());
+    }
     ++imported;
   }
   return imported;
@@ -389,6 +435,10 @@ std::size_t CheckpointStore::import_directory(
 
 void CheckpointStore::append_locked(std::uint64_t job,
                                     const std::vector<std::byte>& payload) {
+  std::chrono::steady_clock::time_point append_start;
+  if constexpr (metrics::kEnabled) {
+    append_start = std::chrono::steady_clock::now();
+  }
   const std::string path = own_file_path();
   const bool fresh = !fs::exists(path) || fs::file_size(path) == 0;
   // Opening retries with backoff (transient EMFILE/network-storage blips);
@@ -420,6 +470,16 @@ void CheckpointStore::append_locked(std::uint64_t job,
   out.flush();
   ETHSM_ENSURES(static_cast<bool>(out),
                 "short write to checkpoint file " + path);
+
+  if constexpr (metrics::kEnabled) {
+    CheckpointMetrics& m = CheckpointMetrics::instance();
+    m.appends.add();
+    m.append_bytes.add(buffer.size());
+    m.append_seconds.observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      append_start)
+            .count());
+  }
 
   records_[job] = payload;
 }
@@ -464,6 +524,12 @@ std::map<std::uint64_t, std::vector<std::byte>> read_checkpoint_records(
     walk_checkpoint_file(path, fingerprint,
                          [&records](std::uint64_t job,
                                     std::vector<std::byte>&& payload) {
+                           if constexpr (metrics::kEnabled) {
+                             CheckpointMetrics& m =
+                                 CheckpointMetrics::instance();
+                             m.read_records.add();
+                             m.read_bytes.add(payload.size());
+                           }
                            records[job] = std::move(payload);
                          });
   }

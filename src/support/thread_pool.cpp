@@ -1,9 +1,12 @@
 #include "support/thread_pool.h"
 
+#include <chrono>
 #include <cstdlib>
 #include <memory>
 
 #include "support/check.h"
+#include "support/metrics.h"
+#include "support/trace.h"
 
 namespace ethsm::support {
 
@@ -15,10 +18,47 @@ thread_local bool t_inside_pool_job = false;
 std::mutex g_global_mutex;
 std::unique_ptr<ThreadPool> g_global_pool;  // guarded by g_global_mutex
 
+/// Write-only observability tap. Tasks drained through regions are counted
+/// and timed; for_each_index's inline paths (n == 1, single-thread pools,
+/// nested regions) bypass the pool machinery and are deliberately not
+/// counted -- the metrics describe pool work, not total work. Queue depth is
+/// the remaining-ticket estimate of the most recently touched region.
+struct PoolMetrics {
+  metrics::Counter& tasks;
+  metrics::Counter& regions;
+  metrics::Histogram& task_seconds;
+  metrics::Gauge& active_regions;
+  metrics::Gauge& queue_depth;
+
+  static PoolMetrics& instance() {
+    auto& reg = metrics::registry();
+    static PoolMetrics m{
+        reg.counter("ethsm_pool_tasks_total",
+                    "Tasks executed through thread-pool regions"),
+        reg.counter("ethsm_pool_regions_total",
+                    "Parallel regions run on the thread pool"),
+        reg.histogram("ethsm_pool_task_seconds",
+                      metrics::Histogram::latency_bounds_seconds(),
+                      "Latency of individual pool tasks"),
+        reg.gauge("ethsm_pool_active_regions",
+                  "Parallel regions currently executing"),
+        reg.gauge("ethsm_pool_queue_depth",
+                  "Remaining tickets in the most recent region"),
+    };
+    return m;
+  }
+};
+
 }  // namespace
 
 ThreadPool::ThreadPool(unsigned threads)
     : concurrency_(threads == 0 ? 1 : threads) {
+  if constexpr (metrics::kEnabled) {
+    // Register the pool metric family up front so GET /metrics and
+    // --metrics-out list it (at zero) even on machines where every region
+    // takes the single-thread inline path.
+    (void)PoolMetrics::instance();
+  }
   workers_.reserve(concurrency_ - 1);
   for (unsigned i = 0; i + 1 < concurrency_; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -41,11 +81,27 @@ std::size_t ThreadPool::drain(Region& region) {
     const std::size_t i =
         region.next_index.fetch_add(1, std::memory_order_relaxed);
     if (i >= region.size) break;
+    if constexpr (metrics::kEnabled) {
+      PoolMetrics::instance().queue_depth.set(
+          static_cast<std::int64_t>(region.size - i - 1));
+    }
+    std::chrono::steady_clock::time_point task_start;
+    if constexpr (metrics::kEnabled) {
+      task_start = std::chrono::steady_clock::now();
+    }
     try {
       region.fn(i);
     } catch (...) {
       std::lock_guard<std::mutex> lock(mutex_);
       if (!region.first_error) region.first_error = std::current_exception();
+    }
+    if constexpr (metrics::kEnabled) {
+      PoolMetrics& m = PoolMetrics::instance();
+      m.tasks.add();
+      m.task_seconds.observe(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        task_start)
+              .count());
     }
     ++completed;
   }
@@ -81,6 +137,12 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::run_region(std::size_t n,
                             const std::function<void(std::size_t)>& fn) {
+  trace::Span span("pool.region");
+  if constexpr (metrics::kEnabled) {
+    PoolMetrics& m = PoolMetrics::instance();
+    m.regions.add();
+    m.active_regions.add(1);
+  }
   auto region = std::make_shared<Region>();
   region->fn = fn;  // copied so stragglers can never observe a dead callable
   region->size = n;
@@ -102,6 +164,11 @@ void ThreadPool::run_region(std::size_t n,
     done_cv_.wait(lock, [&] { return region->remaining == 0; });
     if (region_ == region) region_.reset();
     error = region->first_error;
+  }
+  if constexpr (metrics::kEnabled) {
+    PoolMetrics& m = PoolMetrics::instance();
+    m.active_regions.sub(1);
+    m.queue_depth.set(0);
   }
   if (error) std::rethrow_exception(error);
 }

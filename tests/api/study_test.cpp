@@ -13,6 +13,7 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <regex>
 #include <set>
 #include <sstream>
 
@@ -191,15 +192,24 @@ class StudyRunTest : public ::testing::Test {
   }
 
   /// Reads every regular file under `dir` into a path -> contents map with
-  /// paths relative to `dir` (the bitwise tree comparison).
+  /// paths relative to `dir` (the bitwise tree comparison). The manifest's
+  /// per-cell "timing" objects are run-mode-dependent by design (wall time,
+  /// computed-vs-loaded job counts), so they are masked out with the same
+  /// regex tools/compare_trees.py uses; everything else must be bitwise
+  /// identical.
   static std::map<std::string, std::string> snapshot(const fs::path& dir) {
+    static const std::regex timing_re(R"(,\s*"timing": \{[^}]*\})");
     std::map<std::string, std::string> files;
     for (const auto& entry : fs::recursive_directory_iterator(dir)) {
       if (!entry.is_regular_file()) continue;
       std::ifstream in(entry.path(), std::ios::binary);
       std::ostringstream os;
       os << in.rdbuf();
-      files[fs::relative(entry.path(), dir).string()] = os.str();
+      std::string contents = os.str();
+      if (entry.path().filename() == "manifest.json") {
+        contents = std::regex_replace(contents, timing_re, "");
+      }
+      files[fs::relative(entry.path(), dir).string()] = contents;
     }
     return files;
   }

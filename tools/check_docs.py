@@ -30,7 +30,7 @@ BEGIN_MARK = "<!-- BEGIN GENERATED PRESETS (tools/check_docs.py --fix) -->"
 END_MARK = "<!-- END GENERATED PRESETS -->"
 
 LINK_DOCS = ["README.md", "docs/ARCHITECTURE.md", "docs/CLI.md",
-             "docs/OPERATIONS.md"]
+             "docs/OPERATIONS.md", "docs/OBSERVABILITY.md"]
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
 

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Bitwise comparison of two ethsm results trees, masking per-cell timing.
+
+Usage:  python3 tools/compare_trees.py TREE_A TREE_B
+
+Every regular file present in either tree must exist in both with identical
+bytes -- with one carve-out: manifest.json and orchestrate-manifest.json
+carry a per-entry `"timing": {...}` object (wall times, computed-vs-loaded
+job counts, solver iteration deltas) that is run-mode-dependent by design.
+Those objects are stripped with the same regex the C++ study tests use
+(see StudyEntryTiming in src/api/study.h) before comparing; everything else
+in the manifests, and every other file, is compared byte for byte.
+
+Exit status: 0 when the trees match, 1 with a per-file report when not.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# Keep in sync with the doc comment on StudyEntryTiming (src/api/study.h)
+# and the snapshot() normalization in tests/api/study_test.cpp.
+TIMING_RE = re.compile(r',\s*"timing": \{[^}]*\}')
+
+MASKED_NAMES = {"manifest.json", "orchestrate-manifest.json"}
+
+
+def load(path: Path) -> bytes:
+    data = path.read_bytes()
+    if path.name in MASKED_NAMES:
+        data = TIMING_RE.sub("", data.decode("utf-8", "surrogateescape")).encode(
+            "utf-8", "surrogateescape"
+        )
+    return data
+
+
+def tree_files(root: Path) -> dict[str, Path]:
+    return {
+        str(p.relative_to(root)): p
+        for p in sorted(root.rglob("*"))
+        if p.is_file()
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("tree_a", type=Path)
+    parser.add_argument("tree_b", type=Path)
+    args = parser.parse_args()
+
+    for root in (args.tree_a, args.tree_b):
+        if not root.is_dir():
+            print(f"compare_trees: not a directory: {root}", file=sys.stderr)
+            return 1
+
+    a_files = tree_files(args.tree_a)
+    b_files = tree_files(args.tree_b)
+    problems = []
+
+    for rel in sorted(a_files.keys() | b_files.keys()):
+        if rel not in a_files:
+            problems.append(f"only in {args.tree_b}: {rel}")
+        elif rel not in b_files:
+            problems.append(f"only in {args.tree_a}: {rel}")
+        elif load(a_files[rel]) != load(b_files[rel]):
+            masked = " (after timing mask)" if Path(rel).name in MASKED_NAMES else ""
+            problems.append(f"differs{masked}: {rel}")
+
+    if problems:
+        for line in problems:
+            print(f"compare_trees: {line}", file=sys.stderr)
+        print(
+            f"compare_trees: {args.tree_a} and {args.tree_b} differ "
+            f"({len(problems)} problem(s))",
+            file=sys.stderr,
+        )
+        return 1
+
+    print(
+        f"compare_trees: OK -- {len(a_files)} file(s) identical "
+        "(timing objects masked in manifests)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,6 @@
 #!/usr/bin/env python3
 """Load driver for `ethsm serve`: replays preset runs and reports latency
-percentiles plus the cache hit rate measured from /v1/status deltas.
+percentiles plus the cache hit rate measured from GET /metrics deltas.
 
 Stdlib only. Typical use (and what CI's serve-smoke job runs):
 
@@ -32,6 +32,33 @@ def fetch_json(base, path, method="GET", timeout=300.0):
         source = response.headers.get("X-Ethsm-Source", "")
     elapsed = time.monotonic() - started
     return json.loads(body), elapsed, source
+
+
+def fetch_cache_counters(base, timeout=300.0):
+    """Monotonic cache counters from the Prometheus exposition.
+
+    GET /metrics and /v1/status render the same registry, but the metrics
+    counters are monotone by contract, which makes before/after deltas safe
+    even when other clients hit the daemon concurrently (a /v1/status
+    snapshot interleaved with foreign traffic cannot go backwards either,
+    but asserting on the shared monotonic family keeps one source of truth).
+    """
+    request = urllib.request.Request(base + "/metrics")
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        text = response.read().decode()
+    counters = {}
+    for line in text.splitlines():
+        if line.startswith("#") or not line.strip():
+            continue
+        name, _, value = line.partition(" ")
+        if name in ("ethsm_serve_cache_hits_total",
+                    "ethsm_serve_cache_misses_total"):
+            counters[name] = int(float(value))
+    missing = {"ethsm_serve_cache_hits_total",
+               "ethsm_serve_cache_misses_total"} - counters.keys()
+    if missing:
+        raise ValueError(f"/metrics missing {sorted(missing)}")
+    return counters
 
 
 def percentile(samples, q):
@@ -113,22 +140,37 @@ def main():
     failures.extend(errors)
     describe("cold", cold_latency)
 
-    status_before, _, _ = fetch_json(base, "/v1/status")
+    metrics_before = fetch_cache_counters(base)
     warm_paths = paths * max(1, args.repeat)
     warm_started = time.monotonic()
     warm_latency, warm_sources, errors = run_pass(base, warm_paths,
                                                   args.concurrency)
     warm_elapsed = time.monotonic() - warm_started
     failures.extend(errors)
+    metrics_after = fetch_cache_counters(base)
     status_after, _, _ = fetch_json(base, "/v1/status")
     describe("warm", warm_latency)
 
-    hit_delta = status_after["cache"]["hits"] - status_before["cache"]["hits"]
-    miss_delta = (status_after["cache"]["misses"]
-                  - status_before["cache"]["misses"])
+    hit_delta = (metrics_after["ethsm_serve_cache_hits_total"]
+                 - metrics_before["ethsm_serve_cache_hits_total"])
+    miss_delta = (metrics_after["ethsm_serve_cache_misses_total"]
+                  - metrics_before["ethsm_serve_cache_misses_total"])
     lookups = hit_delta + miss_delta
     hit_rate = hit_delta / lookups if lookups else 0.0
     from_cache = sum(1 for source in warm_sources if source == "cache")
+
+    # /v1/status must agree with the counters the deltas came from: both are
+    # renderings of one registry. (Read /metrics before /v1/status above, so
+    # a foreign request between the reads can only make status >= metrics.)
+    for metric_name, status_value in (
+        ("ethsm_serve_cache_hits_total", status_after["cache"]["hits"]),
+        ("ethsm_serve_cache_misses_total", status_after["cache"]["misses"]),
+    ):
+        if status_value < metrics_after[metric_name]:
+            failures.append(
+                f"/v1/status {metric_name.split('_')[-2]}={status_value} "
+                f"below /metrics {metric_name}={metrics_after[metric_name]}"
+            )
 
     cold_rps = len(cold_latency) / cold_elapsed if cold_elapsed else 0.0
     warm_rps = len(warm_latency) / warm_elapsed if warm_elapsed else 0.0
@@ -136,7 +178,7 @@ def main():
           f" ({sum(1 for s in cold_sources if s == 'computed')} computed)")
     print(f"  warm pass: {warm_rps:.1f} req/s"
           f" ({from_cache}/{len(warm_sources)} from cache,"
-          f" status-delta hit rate {hit_rate:.3f})")
+          f" metrics-delta hit rate {hit_rate:.3f})")
 
     if failures:
         for failure in failures:
